@@ -1,0 +1,90 @@
+// Command geoproofd is the prover daemon: it serves a prepared (.geo)
+// file's segments over TCP, optionally simulating a disk technology's
+// look-up latency so timing experiments behave like the paper's data
+// centres.
+//
+// Usage:
+//
+//	geoproofd -file data.geo -meta data.meta.json -addr :9341 [-disk wd2500jd] [-simulate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/geo"
+	"repro/internal/meta"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geoproofd:", err)
+		os.Exit(1)
+	}
+}
+
+func diskByName(name string) (disk.Model, error) {
+	for _, m := range disk.TableI() {
+		if strings.EqualFold(strings.ReplaceAll(m.Name, " ", ""), strings.ReplaceAll(name, " ", "")) {
+			return m, nil
+		}
+	}
+	return disk.Model{}, fmt.Errorf("unknown disk %q (try wd2500jd, ibm36z15, ibm73lzx, ibm40gnx, hitachidk23da)", name)
+}
+
+func run() error {
+	file := flag.String("file", "", "encoded .geo file to serve")
+	metaPath := flag.String("meta", "", "metadata sidecar (only layout fields are used)")
+	addr := flag.String("addr", ":9341", "listen address")
+	diskName := flag.String("disk", "wd2500jd", "disk model for simulated look-up latency")
+	simulate := flag.Bool("simulate", false, "sleep the modelled look-up latency per request")
+	flag.Parse()
+
+	if *file == "" || *metaPath == "" {
+		return fmt.Errorf("-file and -meta are required")
+	}
+	m, err := meta.Load(*metaPath)
+	if err != nil {
+		return err
+	}
+	layout, err := m.Layout()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return fmt.Errorf("read encoded file: %w", err)
+	}
+	if int64(len(data)) != layout.EncodedBytes {
+		return fmt.Errorf("encoded file is %d bytes, layout expects %d", len(data), layout.EncodedBytes)
+	}
+	model, err := diskByName(*diskName)
+	if err != nil {
+		return err
+	}
+
+	site := cloud.NewSite(cloud.DataCenter{
+		Name:     "geoproofd",
+		Position: geo.Brisbane,
+		Disk:     model,
+	}, 1)
+	site.Store(m.FileID, layout, data)
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Printf("serving %q (%d segments, disk %s, simulate=%v) on %s\n",
+		m.FileID, layout.Segments, model.Name, *simulate, lis.Addr())
+	srv := &core.ProverServer{
+		Provider:            &cloud.HonestProvider{Site: site},
+		SimulateServiceTime: *simulate,
+	}
+	return srv.Serve(lis)
+}

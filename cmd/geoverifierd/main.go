@@ -1,0 +1,67 @@
+// Command geoverifierd runs the verifier device as a daemon (the
+// tamper-proof, GPS-enabled box of paper Fig. 4): it accepts audit
+// requests from remote TPAs, runs timed challenge rounds against the
+// prover, and returns signed transcripts. Its ECDSA public key is printed
+// at startup for registration with the TPA.
+//
+// Usage:
+//
+//	geoverifierd -addr :9342 -prover host:9341 [-lat -27.4698 -lon 153.0251]
+package main
+
+import (
+	"crypto/elliptic"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/geo"
+	"repro/internal/gps"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "geoverifierd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":9342", "listen address for TPA connections")
+	prover := flag.String("prover", "127.0.0.1:9341", "prover (geoproofd) address")
+	lat := flag.Float64("lat", geo.Brisbane.LatDeg, "device GPS latitude")
+	lon := flag.Float64("lon", geo.Brisbane.LonDeg, "device GPS longitude")
+	flag.Parse()
+
+	signer, err := crypt.NewSigner()
+	if err != nil {
+		return err
+	}
+	pub := signer.Public()
+	fmt.Printf("verifier public key (register with TPA): %s\n",
+		hex.EncodeToString(elliptic.MarshalCompressed(pub.Curve, pub.X, pub.Y)))
+
+	receiver := &gps.Receiver{True: geo.Position{LatDeg: *lat, LonDeg: *lon}}
+	verifier, err := core.NewVerifier(signer, receiver, nil)
+	if err != nil {
+		return err
+	}
+	srv := &core.VerifierServer{
+		Verifier: verifier,
+		DialProver: func() (core.ProverConn, error) {
+			return core.DialProver(*prover, 5*time.Second)
+		},
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	fmt.Printf("verifier device at %s (GPS %.4f,%.4f), prover %s\n",
+		lis.Addr(), *lat, *lon, *prover)
+	return srv.Serve(lis)
+}

@@ -1,0 +1,82 @@
+// Geolocation comparison (paper §III-B): locate a cloud data centre with
+// the classic measurement-based schemes, honestly and against a provider
+// that delays probe replies, then contrast with GeoProof's one-sided
+// distance bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/geoloc"
+	"repro/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	truth := geo.Sydney
+	landmarks := geoloc.AustralianLandmarks()
+	fmt.Printf("true data-centre location: Sydney (%s)\n", truth)
+	fmt.Printf("landmarks: %d Australian vantage points\n\n", len(landmarks))
+
+	probesFor := func(added time.Duration, seed int64) []geoloc.Probe {
+		m := geoloc.ProbeModel{
+			Target:     truth,
+			AddedDelay: added,
+			LastMile:   simnet.DefaultLastMile,
+			Rng:        rand.New(rand.NewSource(seed)),
+		}
+		return m.MeasureAll(landmarks)
+	}
+
+	gp := geoloc.BuildGeoPingDB(landmarks, geoloc.AustralianCandidates(),
+		simnet.DefaultLastMile, rand.New(rand.NewSource(1)))
+	schemes := []struct {
+		name   string
+		locate func([]geoloc.Probe) (geoloc.Estimate, error)
+	}{
+		{"GeoPing", gp.Locate},
+		{"Octant", (&geoloc.Octant{Overhead: 2 * simnet.DefaultLastMile}).Locate},
+		{"TBG", (&geoloc.TBG{Overhead: 2 * simnet.DefaultLastMile, GridStepKm: 20}).Locate},
+	}
+
+	fmt.Printf("%-8s  %-22s  %-28s\n", "scheme", "honest target", "adversarial (+60 ms delay)")
+	for i, s := range schemes {
+		honest, err := s.locate(probesFor(0, int64(10+i)))
+		if err != nil {
+			return err
+		}
+		adv, err := s.locate(probesFor(60*time.Millisecond, int64(10+i)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s  err=%6.0f km           err=%6.0f km (radius %.0f km)\n",
+			s.name, honest.ErrorKm(truth), adv.ErrorKm(truth), adv.RadiusKm)
+	}
+
+	// IP mapping: pure database lookup, attacker-controlled.
+	ipm := &geoloc.IPMapping{Table: map[string]geo.Position{
+		"203.0.113.0/24": geo.Brisbane, // re-registered by the provider
+	}}
+	est, err := ipm.LocatePrefix("203.0.113.0/24")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s  err=%6.0f km           same — no measurement at all\n",
+		"IP-map", est.ErrorKm(truth))
+
+	fmt.Println("\nGeoProof's contrast: its timed rounds give a *maximum* distance bound.")
+	fmt.Println("A delaying adversary can only make the data look farther away — it can")
+	fmt.Println("never pass an audit for a location the data is not actually near.")
+	fmt.Printf("(e.g. 3 ms of residual RTT bounds the data within %.0f km of the verifier)\n",
+		geo.MaxDistanceKm(3*time.Millisecond, geo.SpeedInternetKmPerMs))
+	return nil
+}

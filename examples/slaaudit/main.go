@@ -1,0 +1,146 @@
+// SLA audit: a TPA monitors several tenants whose SLAs pin data to
+// different Australian regions. One provider is honest, one silently
+// corrupted a replica, one moved the data interstate behind a relay, and
+// one moved the verifier device itself. The report shows how each §V-B
+// check catches a different violation.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/disk"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/por"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// tenant is one audited deployment.
+type tenant struct {
+	name     string
+	provider func(encoded *por.EncodedFile) cloud.Provider
+	gpsTrue  geo.Position
+	gpsSpoof *geo.Position
+	sla      cloud.SLA
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	master, err := crypt.NewMasterKey()
+	if err != nil {
+		return err
+	}
+	owner := por.NewEncoder(master)
+	file := bytes.Repeat([]byte("tenant-data-"), 5000)
+
+	perth := geo.Perth
+	tenants := []tenant{
+		{
+			name: "tenant-a (honest, Brisbane)",
+			provider: func(ef *por.EncodedFile) cloud.Provider {
+				site := cloud.NewSite(cloud.DataCenter{Name: "bne", Position: geo.Brisbane, Disk: disk.WD2500JD}, 1)
+				site.Store(ef.FileID, ef.Layout, ef.Data)
+				return &cloud.HonestProvider{Site: site}
+			},
+			gpsTrue: geo.Brisbane,
+			sla:     cloud.SLA{Center: geo.Brisbane, RadiusKm: 100},
+		},
+		{
+			name: "tenant-b (silent corruption)",
+			provider: func(ef *por.EncodedFile) cloud.Provider {
+				site := cloud.NewSite(cloud.DataCenter{Name: "bne", Position: geo.Brisbane, Disk: disk.WD2500JD}, 2)
+				site.Store(ef.FileID, ef.Layout, ef.Data)
+				if _, err := site.CorruptRandomSegments(ef.FileID, 0.4, 9); err != nil {
+					panic(err)
+				}
+				return &cloud.HonestProvider{Site: site}
+			},
+			gpsTrue: geo.Brisbane,
+			sla:     cloud.SLA{Center: geo.Brisbane, RadiusKm: 100},
+		},
+		{
+			name: "tenant-c (relay to Sydney)",
+			provider: func(ef *por.EncodedFile) cloud.Provider {
+				remote := cloud.NewSite(cloud.DataCenter{Name: "syd", Position: geo.Sydney, Disk: disk.IBM36Z15}, 3)
+				remote.Store(ef.FileID, ef.Layout, ef.Data)
+				return cloud.NewRelayProvider(
+					cloud.DataCenter{Name: "bne-front", Position: geo.Brisbane, Disk: disk.WD2500JD},
+					remote,
+					simnet.InternetLink{DistanceKm: geo.Brisbane.DistanceKm(geo.Sydney), LastMile: simnet.DefaultLastMile},
+					4,
+				)
+			},
+			gpsTrue: geo.Brisbane,
+			sla:     cloud.SLA{Center: geo.Brisbane, RadiusKm: 100},
+		},
+		{
+			name: "tenant-d (verifier moved to Perth)",
+			provider: func(ef *por.EncodedFile) cloud.Provider {
+				site := cloud.NewSite(cloud.DataCenter{Name: "per", Position: geo.Perth, Disk: disk.WD2500JD}, 5)
+				site.Store(ef.FileID, ef.Layout, ef.Data)
+				return &cloud.HonestProvider{Site: site}
+			},
+			gpsTrue:  geo.Perth,
+			gpsSpoof: &perth, // device honestly reports Perth: position check fires
+			sla:      cloud.SLA{Center: geo.Brisbane, RadiusKm: 100},
+		},
+	}
+
+	for i, tn := range tenants {
+		fileID := fmt.Sprintf("tenant-%d/data", i)
+		encoded, err := owner.Encode(fileID, file)
+		if err != nil {
+			return err
+		}
+		clk := vclock.NewVirtual(time.Time{})
+		net := simnet.New(clk, int64(100+i))
+		net.AddNode("verifier", tn.gpsTrue, nil)
+		net.AddNode("prover", tn.gpsTrue, core.ProviderHandler(tn.provider(encoded)))
+		net.SetLink("verifier", "prover", simnet.LANLink{
+			DistanceKm: 0.5, Switches: 3,
+			PerSwitch: 30 * time.Microsecond, Base: 100 * time.Microsecond,
+		})
+		signer, err := crypt.NewSigner()
+		if err != nil {
+			return err
+		}
+		verifier, err := core.NewVerifier(signer, &gps.Receiver{True: tn.gpsTrue, Spoof: tn.gpsSpoof}, clk)
+		if err != nil {
+			return err
+		}
+		tpa, err := core.NewTPA(owner, signer.Public(), core.DefaultPolicy(tn.sla))
+		if err != nil {
+			return err
+		}
+		req, err := tpa.NewRequest(fileID, encoded.Layout, 15)
+		if err != nil {
+			return err
+		}
+		st, err := verifier.RunAudit(req, &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"})
+		if err != nil {
+			return err
+		}
+		rep := tpa.VerifyAudit(req, encoded.Layout, st)
+
+		verdict := "ACCEPTED"
+		if !rep.Accepted {
+			verdict = "REJECTED: " + rep.Reason()
+		}
+		fmt.Printf("%s\n  sig=%v pos=%v macs=%v timing=%v maxRTT=%v\n  %s\n\n",
+			tn.name, rep.SignatureOK, rep.PositionOK, rep.MACsOK, rep.TimingOK,
+			rep.MaxRTT.Round(time.Microsecond), verdict)
+	}
+	return nil
+}

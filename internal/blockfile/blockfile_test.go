@@ -1,0 +1,161 @@
+package blockfile
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultParamsMatchPaper(t *testing.T) {
+	p := DefaultParams()
+	if p.BlockSize != 16 {
+		t.Errorf("block size %d, want 16 bytes (128 bits)", p.BlockSize)
+	}
+	if p.ChunkData != 223 || p.ChunkTotal != 255 {
+		t.Errorf("chunk %d/%d, want 223/255", p.ChunkData, p.ChunkTotal)
+	}
+	if p.SegmentBlocks != 5 || p.TagBits != 20 {
+		t.Errorf("segment %d blocks / %d tag bits, want 5 / 20", p.SegmentBlocks, p.TagBits)
+	}
+	// Paper: segment size = 128·5 + 20 = 660 bits. Serialised we round
+	// the 20-bit tag to 3 bytes: 83 bytes = 664 bits.
+	if p.SegmentSize() != 83 {
+		t.Errorf("segment size %d bytes, want 83", p.SegmentSize())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{BlockSize: 0, ChunkData: 223, ChunkTotal: 255, SegmentBlocks: 5, TagBits: 20},
+		{BlockSize: 16, ChunkData: 0, ChunkTotal: 255, SegmentBlocks: 5, TagBits: 20},
+		{BlockSize: 16, ChunkData: 255, ChunkTotal: 255, SegmentBlocks: 5, TagBits: 20},
+		{BlockSize: 16, ChunkData: 223, ChunkTotal: 256, SegmentBlocks: 5, TagBits: 20},
+		{BlockSize: 16, ChunkData: 223, ChunkTotal: 255, SegmentBlocks: 0, TagBits: 20},
+		{BlockSize: 16, ChunkData: 223, ChunkTotal: 255, SegmentBlocks: 5, TagBits: 4},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); !errors.Is(err, ErrBadParams) {
+			t.Errorf("case %d: got %v, want ErrBadParams", i, err)
+		}
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestLayoutPaperExample(t *testing.T) {
+	// §V-B example: a 2 GB file with 128-bit blocks has b = 2^27 blocks.
+	l, err := NewLayout(DefaultParams(), 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DataBlocks != 1<<27 {
+		t.Fatalf("data blocks %d, want 2^27", l.DataBlocks)
+	}
+	// Exact (255/223) expansion: the paper approximates 153,008,209
+	// blocks via ×1.14; exact arithmetic gives chunks·255.
+	wantECC := l.Chunks * 255
+	if l.ECCBlocks != wantECC {
+		t.Fatalf("ECC blocks %d, want %d", l.ECCBlocks, wantECC)
+	}
+	ratio := float64(l.ECCBlocks) / float64(l.DataBlocks)
+	if math.Abs(ratio-255.0/223.0) > 0.0001 {
+		t.Fatalf("ECC ratio %.5f, want 255/223", ratio)
+	}
+	// Paper's ballpark: within 0.5% of their ×1.14 figure.
+	if math.Abs(float64(l.ECCBlocks)-153008209)/153008209 > 0.005 {
+		t.Fatalf("ECC blocks %d not within 0.5%% of the paper's 153,008,209", l.ECCBlocks)
+	}
+}
+
+func TestOverheadsMatchPaperClaims(t *testing.T) {
+	l, err := NewLayout(DefaultParams(), 2<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ECC overhead ≈ 14.3% ("about 14%").
+	if got := l.ECCOverhead(); math.Abs(got-0.1435) > 0.001 {
+		t.Errorf("ECC overhead %.4f, want ≈0.1435", got)
+	}
+	// MAC overhead 20/(5·128) = 3.125% (paper rounds to 2.5%).
+	if got := l.MACOverhead(); math.Abs(got-0.03125) > 1e-9 {
+		t.Errorf("MAC overhead %.5f, want 0.03125", got)
+	}
+	// Total overhead ≈ 18% with byte-rounded tags (paper: about 16.5%
+	// with bit-packed 20-bit tags).
+	if got := l.TotalOverhead(); got < 0.16 || got > 0.20 {
+		t.Errorf("total overhead %.4f outside [0.16, 0.20]", got)
+	}
+}
+
+func TestLayoutSmallFiles(t *testing.T) {
+	for _, size := range []int64{0, 1, 15, 16, 17, 3568, 3569} {
+		l, err := NewLayout(DefaultParams(), size)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if l.PaddedBlocks%int64(l.ChunkData) != 0 {
+			t.Errorf("size %d: padded blocks %d not a chunk multiple", size, l.PaddedBlocks)
+		}
+		if l.TotalBlocks%int64(l.SegmentBlocks) != 0 {
+			t.Errorf("size %d: total blocks %d not a segment multiple", size, l.TotalBlocks)
+		}
+		if l.Segments*int64(l.SegmentSize()) != l.EncodedBytes {
+			t.Errorf("size %d: encoded bytes inconsistent", size)
+		}
+		if l.DataBlocks < 1 {
+			t.Errorf("size %d: zero data blocks", size)
+		}
+	}
+}
+
+func TestLayoutRejectsNegativeSize(t *testing.T) {
+	if _, err := NewLayout(DefaultParams(), -1); !errors.Is(err, ErrBadParams) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSegmentOffset(t *testing.T) {
+	l, _ := NewLayout(DefaultParams(), 100000)
+	off, err := l.SegmentOffset(0)
+	if err != nil || off != 0 {
+		t.Fatalf("segment 0 at %d err %v", off, err)
+	}
+	off, err = l.SegmentOffset(3)
+	if err != nil || off != int64(3*l.SegmentSize()) {
+		t.Fatalf("segment 3 at %d err %v", off, err)
+	}
+	if _, err := l.SegmentOffset(-1); err == nil {
+		t.Error("negative segment accepted")
+	}
+	if _, err := l.SegmentOffset(l.Segments); err == nil {
+		t.Error("out-of-range segment accepted")
+	}
+}
+
+func TestPadUnpadRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		l, err := NewLayout(DefaultParams(), int64(len(data)))
+		if err != nil {
+			return false
+		}
+		padded := l.Pad(data)
+		if int64(len(padded)) != l.PaddedBlocks*int64(l.BlockSize) {
+			return false
+		}
+		out, err := l.Unpad(padded)
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpadTooShort(t *testing.T) {
+	l, _ := NewLayout(DefaultParams(), 100)
+	if _, err := l.Unpad(make([]byte, 10)); err == nil {
+		t.Fatal("short unpad accepted")
+	}
+}

@@ -1,0 +1,219 @@
+// Package core implements the GeoProof protocol itself — the paper's
+// primary contribution (§V): a proof-of-storage audit whose challenge-
+// response rounds are individually timed by a trusted, GPS-enabled
+// verifier device inside the provider's LAN, so that a third-party
+// auditor can conclude the data physically resides near the contracted
+// location.
+//
+// Roles:
+//
+//   - Owner (por.Encoder): prepares the file per §V-A and holds the master
+//     secret.
+//   - Verifier device V (Verifier): tamper-proof, GPS-enabled, sits in the
+//     provider's LAN; runs the timed rounds and signs the transcript.
+//   - Prover P: the cloud provider serving segments (cloud.Provider behind
+//     a ProverConn transport).
+//   - TPA A (TPA): drives audits through V, verifies signature, GPS
+//     position, segment MACs and the per-round time bound Δt_max.
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/blockfile"
+	"repro/internal/crypt"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/vclock"
+)
+
+// Errors reported by the protocol layer.
+var (
+	ErrBadRequest    = errors.New("core: invalid audit request")
+	ErrNoRounds      = errors.New("core: transcript has no successful rounds")
+	ErrBadTranscript = errors.New("core: malformed transcript")
+)
+
+// AuditRequest is the TPA→verifier message opening an audit: the file,
+// its segment count ñ, the number of rounds k and a fresh nonce N (§V-B).
+type AuditRequest struct {
+	FileID      string
+	NumSegments int64
+	K           int
+	Nonce       []byte
+}
+
+// Validate checks the request shape.
+func (r AuditRequest) Validate() error {
+	switch {
+	case r.FileID == "":
+		return fmt.Errorf("%w: empty file id", ErrBadRequest)
+	case r.NumSegments <= 0:
+		return fmt.Errorf("%w: %d segments", ErrBadRequest, r.NumSegments)
+	case r.K <= 0 || int64(r.K) > r.NumSegments:
+		return fmt.Errorf("%w: k=%d of %d", ErrBadRequest, r.K, r.NumSegments)
+	case len(r.Nonce) == 0:
+		return fmt.Errorf("%w: empty nonce", ErrBadRequest)
+	}
+	return nil
+}
+
+// DeriveIndices expands the audit nonce into k distinct segment indices.
+// Both V and A can compute the set, so the TPA can confirm the verifier
+// challenged exactly the nonce-committed segments; the prover never sees
+// the nonce and cannot prefetch.
+func DeriveIndices(nonce []byte, numSegments int64, k int) ([]uint64, error) {
+	idx, err := crypt.ChallengeIndices(nonce, []byte("geoproof/indices"), uint64(numSegments), k)
+	if err != nil {
+		return nil, fmt.Errorf("derive indices: %w", err)
+	}
+	return idx, nil
+}
+
+// AuditRound is one timed exchange: the requested index, the returned
+// segment (nil when the request failed) and the measured round-trip time.
+type AuditRound struct {
+	Index   uint64
+	Segment []byte
+	RTT     time.Duration
+	Failed  bool
+}
+
+// Transcript is the record the verifier signs (§V-B): times, challenge
+// indices, returned segments, the nonce and V's GPS position.
+type Transcript struct {
+	FileID   string
+	Nonce    []byte
+	Position geo.Position
+	Rounds   []AuditRound
+}
+
+// Marshal produces the canonical byte encoding covered by the signature.
+func (t Transcript) Marshal() []byte {
+	h := make([]byte, 0, 64+len(t.Rounds)*96)
+	appendBytes := func(b []byte) {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+		h = append(h, l[:]...)
+		h = append(h, b...)
+	}
+	appendBytes([]byte(t.FileID))
+	appendBytes(t.Nonce)
+	// Fixed-point 1e-7° coordinates; math.Round (not truncation) makes
+	// the encode/decode cycle exact for every valid coordinate.
+	var pos [16]byte
+	binary.BigEndian.PutUint64(pos[:8], uint64(int64(math.Round(t.Position.LatDeg*1e7))))
+	binary.BigEndian.PutUint64(pos[8:], uint64(int64(math.Round(t.Position.LonDeg*1e7))))
+	h = append(h, pos[:]...)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(t.Rounds)))
+	h = append(h, n[:]...)
+	for _, r := range t.Rounds {
+		var hdr [17]byte
+		binary.BigEndian.PutUint64(hdr[:8], r.Index)
+		binary.BigEndian.PutUint64(hdr[8:16], uint64(r.RTT))
+		if r.Failed {
+			hdr[16] = 1
+		}
+		h = append(h, hdr[:]...)
+		appendBytes(r.Segment)
+	}
+	return h
+}
+
+// Digest returns the SHA-256 digest of the canonical encoding; useful for
+// logging and deduplication.
+func (t Transcript) Digest() [32]byte { return sha256.Sum256(t.Marshal()) }
+
+// SignedTranscript is the verifier's final message to the TPA.
+type SignedTranscript struct {
+	Transcript Transcript
+	Signature  []byte
+}
+
+// ProverConn is the verifier's channel to the prover. Implementations
+// carry the request over the simulated network (advancing virtual time)
+// or over a real TCP connection; the verifier times the call with its own
+// clock either way.
+type ProverConn interface {
+	GetSegment(fileID string, index uint64) ([]byte, error)
+}
+
+// Verifier is the tamper-proof device: a signing key, a GPS receiver and
+// a clock. The zero value is unusable; construct with NewVerifier.
+type Verifier struct {
+	signer *crypt.Signer
+	gps    *gps.Receiver
+	clock  vclock.Clock
+}
+
+// NewVerifier assembles a verifier device. A nil clock defaults to the
+// wall clock.
+func NewVerifier(signer *crypt.Signer, receiver *gps.Receiver, clock vclock.Clock) (*Verifier, error) {
+	if signer == nil || receiver == nil {
+		return nil, errors.New("core: verifier needs a signer and a GPS receiver")
+	}
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Verifier{signer: signer, gps: receiver, clock: clock}, nil
+}
+
+// Public returns the verifier's verification key, registered with the TPA
+// at installation time.
+func (v *Verifier) Public() *crypt.Signer { return v.signer }
+
+// RunAudit executes the distance-bounding phase: it derives the challenge
+// indices from the nonce, requests each segment over conn while timing
+// the round trip on its own clock, then signs the transcript together
+// with its GPS fix. Failed rounds are recorded rather than aborting the
+// audit — the TPA decides what failures mean.
+func (v *Verifier) RunAudit(req AuditRequest, conn ProverConn) (SignedTranscript, error) {
+	if err := req.Validate(); err != nil {
+		return SignedTranscript{}, err
+	}
+	if conn == nil {
+		return SignedTranscript{}, fmt.Errorf("%w: nil prover connection", ErrBadRequest)
+	}
+	indices, err := DeriveIndices(req.Nonce, req.NumSegments, req.K)
+	if err != nil {
+		return SignedTranscript{}, err
+	}
+	rounds := make([]AuditRound, 0, len(indices))
+	for _, idx := range indices {
+		start := v.clock.Now()
+		seg, err := conn.GetSegment(req.FileID, idx)
+		rtt := v.clock.Now().Sub(start)
+		round := AuditRound{Index: idx, RTT: rtt}
+		if err != nil {
+			round.Failed = true
+		} else {
+			round.Segment = seg
+		}
+		rounds = append(rounds, round)
+	}
+	tr := Transcript{
+		FileID:   req.FileID,
+		Nonce:    append([]byte{}, req.Nonce...),
+		Position: v.gps.Fix(),
+		Rounds:   rounds,
+	}
+	sig, err := v.signer.Sign(tr.Marshal())
+	if err != nil {
+		return SignedTranscript{}, fmt.Errorf("sign transcript: %w", err)
+	}
+	return SignedTranscript{Transcript: tr, Signature: sig}, nil
+}
+
+// NonceEqual compares nonces in constant time.
+func NonceEqual(a, b []byte) bool { return hmac.Equal(a, b) }
+
+// SegmentSizeFor returns the expected on-wire segment size for a layout —
+// a convenience re-export so transports need not import blockfile.
+func SegmentSizeFor(l blockfile.Layout) int { return l.SegmentSize() }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+func FuzzUnmarshalTranscript(f *testing.F) {
+	seed := Transcript{
+		FileID:   "f",
+		Nonce:    []byte{1, 2},
+		Position: geo.Brisbane,
+		Rounds:   []AuditRound{{Index: 3, Segment: []byte{4}, RTT: time.Millisecond}},
+	}
+	f.Add(seed.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := UnmarshalTranscript(data)
+		if err != nil {
+			return
+		}
+		// Canonical: anything that parses must re-marshal to the same
+		// bytes (signatures depend on this).
+		if !bytes.Equal(tr.Marshal(), data) {
+			t.Fatal("parsed transcript is not canonical")
+		}
+	})
+}
+
+func FuzzDecodeAuditRequest(f *testing.F) {
+	f.Add(EncodeAuditRequest(AuditRequest{FileID: "f", NumSegments: 10, K: 2, Nonce: []byte{1}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeAuditRequest(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("decoder returned invalid request: %v", err)
+		}
+		if !bytes.Equal(EncodeAuditRequest(req), data) {
+			t.Fatal("request decode/encode not canonical")
+		}
+	})
+}
+
+func FuzzDecodeSignedTranscript(f *testing.F) {
+	st := SignedTranscript{
+		Transcript: Transcript{FileID: "f", Nonce: []byte{1}, Rounds: []AuditRound{{Index: 1}}},
+		Signature:  []byte{9},
+	}
+	f.Add(EncodeSignedTranscript(st))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeSignedTranscript(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeSignedTranscript(got), data) {
+			t.Fatal("signed transcript decode/encode not canonical")
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/blockfile"
+	"repro/internal/geo"
+	"repro/internal/gps"
+)
+
+// Replication audits extend GeoProof to the question Benson, Dowsley and
+// Shacham pose in the related work (§III): "do you know where your cloud
+// files are?" — for *replicated* storage. Each replica site hosts its own
+// verifier device; the TPA audits every replica with an independent
+// nonce and then checks that (a) each replica individually passes §V-B
+// and (b) the replica set is geographically diverse.
+
+// ErrNoReplicas is returned when a replication audit has no targets.
+var ErrNoReplicas = errors.New("core: replication audit needs at least one replica")
+
+// ReplicaTarget is one audited replica: its verifier device, the channel
+// to its prover, and the region its SLA pins it to.
+type ReplicaTarget struct {
+	Name     string
+	Verifier *Verifier
+	Conn     ProverConn
+	TPA      *TPA
+}
+
+// ReplicaResult is the per-replica outcome.
+type ReplicaResult struct {
+	Name     string
+	Report   Report
+	Position geo.Position
+}
+
+// ReplicationReport aggregates a multi-replica audit.
+type ReplicationReport struct {
+	Results []ReplicaResult
+	// AllAccepted is true when every replica passed its own audit.
+	AllAccepted bool
+	// DiversityOK is true when every pair of replica positions is at
+	// least MinSeparationKm apart.
+	DiversityOK bool
+	// MinPairKm is the smallest observed pairwise separation.
+	MinPairKm float64
+	Reasons   []string
+}
+
+// AuditReplicas audits the same file at every target and checks
+// geographic diversity of the verifier positions. k is the per-replica
+// round count; minSeparationKm the required pairwise distance (0 skips
+// the diversity check).
+func AuditReplicas(fileID string, layout blockfile.Layout, targets []ReplicaTarget, k int, minSeparationKm float64) (ReplicationReport, error) {
+	if len(targets) == 0 {
+		return ReplicationReport{}, ErrNoReplicas
+	}
+	rep := ReplicationReport{AllAccepted: true, DiversityOK: true, MinPairKm: -1}
+	for _, tgt := range targets {
+		req, err := tgt.TPA.NewRequest(fileID, layout, k)
+		if err != nil {
+			return ReplicationReport{}, fmt.Errorf("replica %s: %w", tgt.Name, err)
+		}
+		st, err := tgt.Verifier.RunAudit(req, tgt.Conn)
+		if err != nil {
+			return ReplicationReport{}, fmt.Errorf("replica %s: %w", tgt.Name, err)
+		}
+		r := tgt.TPA.VerifyAudit(req, layout, st)
+		if !r.Accepted {
+			rep.AllAccepted = false
+			rep.Reasons = append(rep.Reasons, fmt.Sprintf("replica %s rejected: %s", tgt.Name, r.Reason()))
+		}
+		rep.Results = append(rep.Results, ReplicaResult{
+			Name:     tgt.Name,
+			Report:   r,
+			Position: st.Transcript.Position,
+		})
+	}
+	if minSeparationKm > 0 {
+		for i := 0; i < len(rep.Results); i++ {
+			for j := i + 1; j < len(rep.Results); j++ {
+				d := rep.Results[i].Position.DistanceKm(rep.Results[j].Position)
+				if rep.MinPairKm < 0 || d < rep.MinPairKm {
+					rep.MinPairKm = d
+				}
+				if d < minSeparationKm {
+					rep.DiversityOK = false
+					rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+						"replicas %s and %s only %.0f km apart (need %.0f)",
+						rep.Results[i].Name, rep.Results[j].Name, d, minSeparationKm))
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Accepted reports overall success: every replica passed and diversity
+// held.
+func (r ReplicationReport) Accepted() bool { return r.AllAccepted && r.DiversityOK }
+
+// CrossCheckPosition hardens the GPS check of §V-C: landmark auditors
+// measure RTTs to the verifier device and the claimed fix must be
+// physically consistent with every bound. It wraps gps.VerifyClaim with
+// the policy's slack and folds the verdict into an existing report.
+func CrossCheckPosition(rep *Report, claimed geo.Position, ms []gps.AuditorMeasurement, slackKm float64) error {
+	res, err := gps.VerifyClaim(claimed, ms, slackKm)
+	if err != nil {
+		return err
+	}
+	if !res.Consistent {
+		rep.PositionOK = false
+		rep.Accepted = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+			"triangulation: claimed position violates auditor RTT bounds by %.0f km", res.WorstViolationKm))
+	}
+	return nil
+}
+
+// AuditInterval suggests how often to re-audit so that a provider
+// corrupting the given fraction of segments is caught within the target
+// horizon with the target confidence, given k-segment audits — the
+// §V-C(a) cumulative-detection observation turned into a schedule.
+func AuditInterval(horizon time.Duration, corruptFraction float64, k int, confidence float64) (time.Duration, error) {
+	if horizon <= 0 {
+		return 0, errors.New("core: horizon must be positive")
+	}
+	per := 1 - confidence
+	if per <= 0 || per >= 1 {
+		return 0, errors.New("core: confidence must be in (0,1)")
+	}
+	p := 1.0
+	audits := 0
+	for p > per && audits < 1<<20 {
+		detect := 1.0
+		for i := 0; i < k; i++ {
+			detect *= 1 - corruptFraction
+		}
+		p *= detect
+		audits++
+	}
+	if audits == 0 || p > per {
+		return 0, errors.New("core: target confidence unreachable")
+	}
+	return horizon / time.Duration(audits), nil
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/simnet"
+)
+
+// segmentReq is the simulated-network request payload.
+type segmentReq struct {
+	fileID string
+	index  uint64
+}
+
+// segmentResp is the simulated-network response payload.
+type segmentResp struct {
+	data []byte
+	err  error
+}
+
+// SimProverConn carries GetSegment over a simnet.Network between the
+// verifier's node and the prover's node. The network advances the shared
+// virtual clock through propagation and service time, so the verifier's
+// timing measurements come out exactly as the latency models dictate.
+type SimProverConn struct {
+	Net      *simnet.Network
+	Verifier string // verifier node name
+	Prover   string // prover node name
+}
+
+var _ ProverConn = (*SimProverConn)(nil)
+
+// GetSegment performs one timed round over the simulated network.
+func (c *SimProverConn) GetSegment(fileID string, index uint64) ([]byte, error) {
+	resp, _, err := c.Net.RoundTrip(c.Verifier, c.Prover, segmentReq{fileID: fileID, index: index})
+	if err != nil {
+		return nil, fmt.Errorf("simnet round trip: %w", err)
+	}
+	sr, ok := resp.(segmentResp)
+	if !ok {
+		return nil, errors.New("core: unexpected simnet response type")
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	return sr.data, nil
+}
+
+// ProviderHandler adapts a cloud.Provider into a simnet node handler: the
+// provider's service latency (disk look-up, plus internal relaying for
+// cheats) becomes the node's service time.
+func ProviderHandler(p cloud.Provider) simnet.Handler {
+	return func(req any) (any, time.Duration) {
+		r, ok := req.(segmentReq)
+		if !ok {
+			return segmentResp{err: errors.New("core: bad request type")}, 0
+		}
+		data, lookup, err := p.FetchSegment(r.fileID, int64(r.index))
+		if err != nil {
+			return segmentResp{err: err}, 0
+		}
+		return segmentResp{data: data}, lookup
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/wire"
+)
+
+// This file is the live-deployment transport: the prover listens on TCP
+// and serves segment requests; the verifier connects and times each
+// round on the wall clock. It is also used by the integration tests over
+// net.Pipe with injected delays.
+
+// ProverServer serves segment requests from a cloud.Provider over a
+// listener. SimulateServiceTime controls whether the provider's modelled
+// service latency is actually slept (true for realistic end-to-end timing
+// demos, false to serve at line rate).
+type ProverServer struct {
+	Provider            cloud.Provider
+	SimulateServiceTime bool
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+	wg     sync.WaitGroup
+}
+
+// Serve accepts and handles connections until the listener is closed.
+// It always returns a non-nil error (net.ErrClosed after Close).
+func (s *ProverServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener; in-flight connections finish their current
+// request.
+func (s *ProverServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.lis != nil {
+		return s.lis.Close()
+	}
+	return nil
+}
+
+// handle serves one connection: a stream of request/response frames.
+func (s *ProverServer) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: nothing to answer
+		}
+		switch typ {
+		case wire.TypePing:
+			if err := wire.WriteFrame(conn, wire.TypePong, nil); err != nil {
+				return
+			}
+		case wire.TypeSegmentRequest:
+			req, err := wire.DecodeSegmentRequest(payload)
+			if err != nil {
+				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
+					return
+				}
+				continue
+			}
+			data, lookup, err := s.Provider.FetchSegment(req.FileID, int64(req.Index))
+			if err != nil {
+				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
+					return
+				}
+				continue
+			}
+			if s.SimulateServiceTime && lookup > 0 {
+				time.Sleep(lookup)
+			}
+			if err := wire.WriteFrame(conn, wire.TypeSegmentResponse, wire.SegmentResponse{Data: data}.Encode()); err != nil {
+				return
+			}
+		default:
+			if err := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: "unknown frame type"}.Encode()); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// TCPProverConn is the verifier side of the TCP transport. It is safe
+// for sequential use only, matching the strictly serial audit rounds.
+type TCPProverConn struct {
+	conn net.Conn
+	// Delay injects artificial symmetric one-way delay per direction,
+	// for failure-injection and relay experiments on loopback.
+	Delay time.Duration
+}
+
+var _ ProverConn = (*TCPProverConn)(nil)
+
+// NewTCPProverConn wraps an established connection.
+func NewTCPProverConn(conn net.Conn) *TCPProverConn {
+	return &TCPProverConn{conn: conn}
+}
+
+// DialProver connects to a prover server.
+func DialProver(addr string, timeout time.Duration) (*TCPProverConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial prover: %w", err)
+	}
+	return &TCPProverConn{conn: conn}, nil
+}
+
+// Close closes the underlying connection.
+func (c *TCPProverConn) Close() error { return c.conn.Close() }
+
+// Ping round-trips an empty frame, for liveness checks and LAN-latency
+// baselining.
+func (c *TCPProverConn) Ping() (time.Duration, error) {
+	start := time.Now()
+	if err := wire.WriteFrame(c.conn, wire.TypePing, nil); err != nil {
+		return 0, err
+	}
+	typ, _, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	if typ != wire.TypePong {
+		return 0, errors.New("core: unexpected ping reply")
+	}
+	return time.Since(start), nil
+}
+
+// GetSegment performs one request/response exchange.
+func (c *TCPProverConn) GetSegment(fileID string, index uint64) ([]byte, error) {
+	if c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
+	req := wire.SegmentRequest{FileID: fileID, Index: index}
+	if err := wire.WriteFrame(c.conn, wire.TypeSegmentRequest, req.Encode()); err != nil {
+		return nil, fmt.Errorf("send request: %w", err)
+	}
+	typ, payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
+	if c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
+	switch typ {
+	case wire.TypeSegmentResponse:
+		resp, err := wire.DecodeSegmentResponse(payload)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Data, nil
+	case wire.TypeError:
+		return nil, wire.DecodeErrorMessage(payload)
+	default:
+		return nil, fmt.Errorf("core: unexpected frame type %d", typ)
+	}
+}

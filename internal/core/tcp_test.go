@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/crypt"
+	"repro/internal/disk"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/por"
+	"repro/internal/wire"
+)
+
+// startServer runs a ProverServer on loopback and returns its address and
+// a shutdown func.
+func startServer(t *testing.T, provider cloud.Provider, simulate bool) (string, func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &ProverServer{Provider: provider, SimulateServiceTime: simulate}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(lis) // returns on Close
+	}()
+	return lis.Addr().String(), func() {
+		_ = srv.Close()
+		<-done
+	}
+}
+
+func tcpFixture(t *testing.T) (*por.Encoder, *por.EncodedFile, *cloud.Site) {
+	t.Helper()
+	enc := por.NewEncoder([]byte("tcp-master"))
+	file := bytes.Repeat([]byte("tcp-audit-data-"), 1500)
+	ef, err := enc.Encode("tcp-file", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := cloud.NewSite(cloud.DataCenter{
+		Name: "local", Position: geo.Brisbane, Disk: disk.WD2500JD,
+	}, 5)
+	site.Store(ef.FileID, ef.Layout, ef.Data)
+	return enc, ef, site
+}
+
+func TestTCPEndToEndAudit(t *testing.T) {
+	enc, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+
+	conn, err := DialProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	signer, _ := crypt.NewSigner()
+	verifier, err := NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil) // wall clock
+	if err != nil {
+		t.Fatal(err)
+	}
+	sla := cloud.SLA{Center: geo.Brisbane, RadiusKm: 100}
+	policy := DefaultPolicy(sla)
+	policy.TMax = 250 * time.Millisecond // generous for loopback-without-simulated-disk
+	tpa, err := NewTPA(enc, signer.Public(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := tpa.NewRequest(ef.FileID, ef.Layout, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := verifier.RunAudit(req, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tpa.VerifyAudit(req, ef.Layout, st)
+	if !rep.Accepted {
+		t.Fatalf("TCP audit rejected: %s", rep.Reason())
+	}
+	if rep.SegmentsOK != 12 {
+		t.Fatalf("segments ok %d", rep.SegmentsOK)
+	}
+}
+
+func TestTCPInjectedDelayTripsTiming(t *testing.T) {
+	enc, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+
+	conn, err := DialProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Delay = 20 * time.Millisecond // 40 ms extra per round trip
+
+	signer, _ := crypt.NewSigner()
+	verifier, _ := NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil)
+	policy := DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100})
+	policy.TMax = 30 * time.Millisecond
+	tpa, _ := NewTPA(enc, signer.Public(), policy)
+
+	req, _ := tpa.NewRequest(ef.FileID, ef.Layout, 4)
+	st, err := verifier.RunAudit(req, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tpa.VerifyAudit(req, ef.Layout, st)
+	if rep.Accepted || rep.TimingOK {
+		t.Fatalf("delayed connection passed timing: max RTT %v", rep.MaxRTT)
+	}
+}
+
+func TestTCPPing(t *testing.T) {
+	_, _, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn, err := DialProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rtt, err := conn.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Fatalf("ping rtt %v", rtt)
+	}
+}
+
+func TestTCPUnknownFileReturnsRemoteError(t *testing.T) {
+	_, _, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn, err := DialProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.GetSegment("ghost-file", 0); !errors.Is(err, wire.ErrRemote) {
+		t.Fatalf("got %v, want ErrRemote", err)
+	}
+	// The connection must remain usable after a remote error.
+	if _, err := conn.GetSegment("tcp-file", 0); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestTCPMalformedFrameHandled(t *testing.T) {
+	_, _, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Garbage segment-request payload: server must answer TypeError,
+	// not crash or hang.
+	if err := wire.WriteFrame(raw, wire.TypeSegmentRequest, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeError {
+		t.Fatalf("frame type %d, want error", typ)
+	}
+	// Unknown frame type.
+	if err := wire.WriteFrame(raw, 99, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err = wire.ReadFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeError {
+		t.Fatalf("frame type %d, want error", typ)
+	}
+}
+
+func TestTCPSimulatedServiceTime(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, true)
+	defer stop()
+	conn, err := DialProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	if _, err := conn.GetSegment(ef.FileID, 0); err != nil {
+		t.Fatal(err)
+	}
+	// WD2500JD look-up is ≈13.1 ms; the served request must take at
+	// least that.
+	if el := time.Since(start); el < 13*time.Millisecond {
+		t.Fatalf("simulated service time not applied: %v", el)
+	}
+}
+
+func TestProverServerCloseIdempotent(t *testing.T) {
+	_, _, site := tcpFixture(t)
+	srv := &ProverServer{Provider: &cloud.HonestProvider{Site: site}}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close before serve: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

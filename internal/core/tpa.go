@@ -1,0 +1,229 @@
+package core
+
+import (
+	"crypto/ecdsa"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/blockfile"
+	"repro/internal/cloud"
+	"repro/internal/crypt"
+	"repro/internal/geo"
+	"repro/internal/por"
+)
+
+// Policy is the TPA's acceptance rule, the §V-B verification process plus
+// the §V-D/E/F timing budget.
+type Policy struct {
+	// TMax is the per-round bound Δt_max. The paper's worked budget is
+	// ≈16 ms: ≤3 ms LAN round trip plus ≤13 ms disk look-up.
+	TMax time.Duration
+	// SLA is the contracted region the verifier's GPS fix must satisfy.
+	SLA cloud.SLA
+	// LookupBudget is the expected honest look-up time subtracted before
+	// converting residual RTT into distance (§V-C b).
+	LookupBudget time.Duration
+	// NetSpeedKmPerMs converts residual time to distance; the paper uses
+	// the 4/9 c Internet speed for the relay-attack bound.
+	NetSpeedKmPerMs float64
+	// MaxFailedRounds tolerates lost rounds before rejecting outright.
+	MaxFailedRounds int
+}
+
+// DefaultPolicy returns the paper's §V-C(b) numbers: Δt_max = 16 ms,
+// 13 ms look-up budget, Internet-speed conversion.
+func DefaultPolicy(sla cloud.SLA) Policy {
+	return Policy{
+		TMax:            16 * time.Millisecond,
+		SLA:             sla,
+		LookupBudget:    13 * time.Millisecond,
+		NetSpeedKmPerMs: geo.SpeedInternetKmPerMs,
+	}
+}
+
+// Report is the TPA's verdict with every §V-B check broken out.
+type Report struct {
+	Accepted bool
+
+	SignatureOK bool
+	PositionOK  bool
+	IndicesOK   bool
+	MACsOK      bool
+	TimingOK    bool
+
+	SegmentsOK   int
+	SegmentsBad  int
+	FailedRounds int
+	MaxRTT       time.Duration
+	MeanRTT      time.Duration
+
+	// ImpliedMaxDistanceKm bounds how far the data can be from the
+	// verifier: (Δt' − look-up budget)·speed/2, clamped at zero.
+	ImpliedMaxDistanceKm float64
+
+	Reasons []string
+}
+
+// Reason returns a human-readable rejection summary.
+func (r Report) Reason() string { return strings.Join(r.Reasons, "; ") }
+
+// TPA is the third-party auditor: it knows the owner's master secret (to
+// verify MACs), the verifier's public key, and the acceptance policy.
+type TPA struct {
+	enc    *por.Encoder
+	pub    *ecdsa.PublicKey
+	policy Policy
+}
+
+// NewTPA constructs an auditor.
+func NewTPA(enc *por.Encoder, verifierKey *ecdsa.PublicKey, policy Policy) (*TPA, error) {
+	if enc == nil || verifierKey == nil {
+		return nil, errors.New("core: TPA needs the encoder and the verifier's public key")
+	}
+	if policy.TMax <= 0 {
+		return nil, errors.New("core: policy TMax must be positive")
+	}
+	return &TPA{enc: enc, pub: verifierKey, policy: policy}, nil
+}
+
+// Policy returns the acceptance policy in force.
+func (a *TPA) Policy() Policy { return a.policy }
+
+// NewRequest opens an audit of k rounds with a fresh random nonce.
+func (a *TPA) NewRequest(fileID string, layout blockfile.Layout, k int) (AuditRequest, error) {
+	nonce := make([]byte, 16)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return AuditRequest{}, fmt.Errorf("sample nonce: %w", err)
+	}
+	req := AuditRequest{FileID: fileID, NumSegments: layout.Segments, K: k, Nonce: nonce}
+	if err := req.Validate(); err != nil {
+		return AuditRequest{}, err
+	}
+	return req, nil
+}
+
+// VerifyAudit applies the §V-B verification process to a signed
+// transcript:
+//
+//  1. verify Sign_SK(R),
+//  2. verify V's GPS position against the SLA,
+//  3. verify τ_cj = MAC_K(S_cj, c_j, fid) for every round,
+//  4. find Δt' = max Δt_j and check Δt' ≤ Δt_max,
+//
+// plus nonce/index consistency between the request and the transcript.
+func (a *TPA) VerifyAudit(req AuditRequest, layout blockfile.Layout, st SignedTranscript) Report {
+	rep := Report{}
+	tr := st.Transcript
+
+	// 1. Signature.
+	if err := crypt.Verify(a.pub, tr.Marshal(), st.Signature); err == nil {
+		rep.SignatureOK = true
+	} else {
+		rep.Reasons = append(rep.Reasons, "transcript signature invalid")
+	}
+
+	// Nonce binding.
+	if !NonceEqual(tr.Nonce, req.Nonce) {
+		rep.Reasons = append(rep.Reasons, "nonce mismatch (replayed transcript?)")
+	}
+
+	// 2. GPS position.
+	if a.policy.SLA.Permits(tr.Position) {
+		rep.PositionOK = true
+	} else {
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("verifier position %s outside SLA region", tr.Position))
+	}
+
+	// Index consistency with the nonce-committed challenge set.
+	rep.IndicesOK = true
+	want, err := DeriveIndices(req.Nonce, req.NumSegments, req.K)
+	if err != nil || len(want) != len(tr.Rounds) {
+		rep.IndicesOK = false
+	} else {
+		for i, r := range tr.Rounds {
+			if r.Index != want[i] {
+				rep.IndicesOK = false
+				break
+			}
+		}
+	}
+	if !rep.IndicesOK {
+		rep.Reasons = append(rep.Reasons, "challenge indices do not match nonce derivation")
+	}
+
+	// 3. Segment MACs; 4. timing.
+	var sumRTT time.Duration
+	timed := 0
+	for _, r := range tr.Rounds {
+		if r.Failed {
+			rep.FailedRounds++
+			continue
+		}
+		if err := a.enc.VerifySegment(tr.FileID, layout, int64(r.Index), r.Segment); err != nil {
+			rep.SegmentsBad++
+		} else {
+			rep.SegmentsOK++
+		}
+		if r.RTT > rep.MaxRTT {
+			rep.MaxRTT = r.RTT
+		}
+		sumRTT += r.RTT
+		timed++
+	}
+	if timed > 0 {
+		rep.MeanRTT = sumRTT / time.Duration(timed)
+	} else {
+		rep.Reasons = append(rep.Reasons, ErrNoRounds.Error())
+	}
+	rep.MACsOK = rep.SegmentsBad == 0 && timed > 0
+	if rep.SegmentsBad > 0 {
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("%d of %d segments failed MAC verification", rep.SegmentsBad, timed))
+	}
+	rep.TimingOK = timed > 0 && rep.MaxRTT <= a.policy.TMax
+	if timed > 0 && !rep.TimingOK {
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("max RTT %v exceeds Δt_max %v", rep.MaxRTT, a.policy.TMax))
+	}
+	if rep.FailedRounds > a.policy.MaxFailedRounds {
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("%d rounds failed (budget %d)", rep.FailedRounds, a.policy.MaxFailedRounds))
+	}
+
+	// Distance implication (§V-C b): residual time after the look-up
+	// budget, at the configured propagation speed, halved for the round
+	// trip.
+	if timed > 0 && a.policy.NetSpeedKmPerMs > 0 {
+		residual := rep.MaxRTT - a.policy.LookupBudget
+		rep.ImpliedMaxDistanceKm = geo.MaxDistanceKm(residual, a.policy.NetSpeedKmPerMs)
+	}
+
+	rep.Accepted = rep.SignatureOK && rep.PositionOK && rep.IndicesOK &&
+		rep.MACsOK && rep.TimingOK &&
+		NonceEqual(tr.Nonce, req.Nonce) &&
+		rep.FailedRounds <= a.policy.MaxFailedRounds
+	return rep
+}
+
+// MaxUndetectableRelayKm answers the paper's relay-attack question
+// (§V-C b) with explicit budget accounting: after the local LAN round
+// trip and the remote site's look-up, whatever remains of Δt_max is
+// available for relay propagation, which converts to a one-way distance
+// at the policy's network speed.
+func (a *TPA) MaxUndetectableRelayKm(remoteLookup time.Duration, localLANRTT time.Duration) float64 {
+	slack := a.policy.TMax - localLANRTT - remoteLookup
+	return geo.MaxDistanceKm(slack, a.policy.NetSpeedKmPerMs)
+}
+
+// PaperRelayBoundKm reproduces the paper's own §V-C(b) arithmetic
+// verbatim: the relay distance coverable during the remote disk's look-up
+// time, speed·Δt_LB/2. With the IBM 36Z15's 5.406 ms and 4/9 c this is
+// the quoted 360 km.
+func PaperRelayBoundKm(remoteLookup time.Duration, netSpeedKmPerMs float64) float64 {
+	return geo.MaxDistanceKm(remoteLookup, netSpeedKmPerMs)
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// VerifierServer exposes a verifier device to remote TPAs: it accepts
+// audit-request frames, runs the timed rounds against its prover
+// connection, and returns the signed transcript. This is the third leg
+// that makes the deployment fully distributed (TPA, verifier and prover
+// each on their own host), matching the paper's Fig. 4 architecture.
+type VerifierServer struct {
+	Verifier *Verifier
+	// DialProver opens the device's channel to the prover for one audit.
+	// Audits run sequentially per connection, so the prover link is
+	// re-established per request — the initialisation phase is not time
+	// critical (§III-A).
+	DialProver func() (ProverConn, error)
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+	wg     sync.WaitGroup
+}
+
+// Serve accepts TPA connections until the listener closes.
+func (s *VerifierServer) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting TPA connections.
+func (s *VerifierServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.lis != nil {
+		return s.lis.Close()
+	}
+	return nil
+}
+
+func (s *VerifierServer) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case wire.TypePing:
+			if err := wire.WriteFrame(conn, wire.TypePong, nil); err != nil {
+				return
+			}
+		case wire.TypeAuditRequest:
+			req, err := DecodeAuditRequest(payload)
+			if err != nil {
+				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
+					return
+				}
+				continue
+			}
+			st, err := s.runOne(req)
+			if err != nil {
+				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
+					return
+				}
+				continue
+			}
+			if err := wire.WriteFrame(conn, wire.TypeSignedTranscript, EncodeSignedTranscript(st)); err != nil {
+				return
+			}
+		default:
+			if err := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: "unknown frame type"}.Encode()); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *VerifierServer) runOne(req AuditRequest) (SignedTranscript, error) {
+	pc, err := s.DialProver()
+	if err != nil {
+		return SignedTranscript{}, fmt.Errorf("dial prover: %w", err)
+	}
+	if closer, ok := pc.(interface{ Close() error }); ok {
+		defer closer.Close()
+	}
+	return s.Verifier.RunAudit(req, pc)
+}
+
+// RemoteVerifier is the TPA-side client of a VerifierServer.
+type RemoteVerifier struct {
+	conn net.Conn
+}
+
+// DialVerifier connects to a verifier daemon.
+func DialVerifier(addr string, timeout time.Duration) (*RemoteVerifier, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial verifier: %w", err)
+	}
+	return &RemoteVerifier{conn: conn}, nil
+}
+
+// Close closes the TPA↔verifier connection.
+func (r *RemoteVerifier) Close() error { return r.conn.Close() }
+
+// RunAudit submits the request and waits for the signed transcript.
+func (r *RemoteVerifier) RunAudit(req AuditRequest) (SignedTranscript, error) {
+	if err := wire.WriteFrame(r.conn, wire.TypeAuditRequest, EncodeAuditRequest(req)); err != nil {
+		return SignedTranscript{}, fmt.Errorf("send request: %w", err)
+	}
+	typ, payload, err := wire.ReadFrame(r.conn)
+	if err != nil {
+		return SignedTranscript{}, fmt.Errorf("read response: %w", err)
+	}
+	switch typ {
+	case wire.TypeSignedTranscript:
+		return DecodeSignedTranscript(payload)
+	case wire.TypeError:
+		return SignedTranscript{}, wire.DecodeErrorMessage(payload)
+	default:
+		return SignedTranscript{}, fmt.Errorf("core: unexpected frame type %d", typ)
+	}
+}

@@ -1,0 +1,222 @@
+// Package crypt bundles the cryptographic primitives GeoProof builds on:
+// key derivation, AES-CTR bulk encryption, truncated HMAC segment tags and
+// ECDSA transcript signatures.
+//
+// The paper's setup phase (§V-A) encrypts the error-corrected file with a
+// symmetric cipher, permutes it, then MACs v-block segments with short
+// (e.g. 20-bit) tags; the verifier device signs audit transcripts with a
+// private key (§V-B). All primitives here are from the Go standard
+// library; only composition is local.
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors reported by this package.
+var (
+	ErrBadTagBits   = errors.New("crypt: tag width must be in [8, 256] bits")
+	ErrBadSignature = errors.New("crypt: signature verification failed")
+	ErrBadKeyLen    = errors.New("crypt: AES key must be 16, 24 or 32 bytes")
+)
+
+// KeySet holds the independent subkeys used by the POR setup pipeline, all
+// derived from one master key so a client only stores a single secret.
+type KeySet struct {
+	Enc  []byte // AES-256 file encryption key (step 3)
+	MAC  []byte // segment tag key K' (step 5)
+	PRP  []byte // block permutation key (step 4)
+	Chal []byte // challenge index derivation key
+}
+
+// DeriveKeys expands a master secret into the POR subkeys using an
+// HKDF-style HMAC-SHA256 expansion bound to the file ID, so per-file keys
+// are independent.
+func DeriveKeys(master []byte, fileID string) KeySet {
+	expand := func(label string) []byte {
+		mac := hmac.New(sha256.New, master)
+		mac.Write([]byte("geoproof/v1/"))
+		mac.Write([]byte(label))
+		mac.Write([]byte{0})
+		mac.Write([]byte(fileID))
+		return mac.Sum(nil)
+	}
+	return KeySet{
+		Enc:  expand("enc"),
+		MAC:  expand("mac"),
+		PRP:  expand("prp"),
+		Chal: expand("chal"),
+	}
+}
+
+// NewMasterKey samples a fresh 32-byte master key from crypto/rand.
+func NewMasterKey() ([]byte, error) {
+	key := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		return nil, fmt.Errorf("sample master key: %w", err)
+	}
+	return key, nil
+}
+
+// EncryptCTR encrypts (or, being a stream cipher, decrypts) data in place
+// with AES-CTR. The 16-byte IV is derived deterministically from the key
+// and fileID; each (key, fileID) pair must encrypt only one plaintext,
+// which the POR setup flow guarantees because DeriveKeys binds the key to
+// the file ID.
+func EncryptCTR(key []byte, fileID string, data []byte) error {
+	switch len(key) {
+	case 16, 24, 32:
+	default:
+		return fmt.Errorf("%w: %d", ErrBadKeyLen, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return fmt.Errorf("new cipher: %w", err)
+	}
+	ivFull := sha256.Sum256([]byte("geoproof/iv/" + fileID))
+	stream := cipher.NewCTR(block, ivFull[:aes.BlockSize])
+	stream.XORKeyStream(data, data)
+	return nil
+}
+
+// Tagger computes truncated HMAC-SHA256 segment tags
+// τ_i = MAC_K'(S_i, i, fid) as in §V-A step 5. Tags are truncated to Bits
+// bits; the paper's example uses 20-bit tags, relying on the large number
+// of verified tags per audit for cumulative soundness.
+type Tagger struct {
+	key  []byte
+	bits int
+}
+
+// NewTagger builds a Tagger producing bits-wide tags.
+func NewTagger(key []byte, bits int) (*Tagger, error) {
+	if bits < 8 || bits > 256 {
+		return nil, fmt.Errorf("%w: %d", ErrBadTagBits, bits)
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &Tagger{key: k, bits: bits}, nil
+}
+
+// Bits returns the tag width in bits.
+func (t *Tagger) Bits() int { return t.bits }
+
+// Size returns the serialised tag size in bytes, ⌈bits/8⌉.
+func (t *Tagger) Size() int { return (t.bits + 7) / 8 }
+
+// Tag computes the truncated MAC for a segment: the first Bits bits of
+// HMAC-SHA256(key, segment ‖ index ‖ fileID), zero-padded to whole bytes.
+func (t *Tagger) Tag(segment []byte, index uint64, fileID string) []byte {
+	mac := hmac.New(sha256.New, t.key)
+	mac.Write(segment)
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], index)
+	mac.Write(idx[:])
+	mac.Write([]byte(fileID))
+	full := mac.Sum(nil)
+	out := make([]byte, t.Size())
+	copy(out, full[:t.Size()])
+	if rem := t.bits % 8; rem != 0 {
+		out[len(out)-1] &= byte(0xFF << (8 - rem))
+	}
+	return out
+}
+
+// VerifyTag reports whether tag matches the segment in constant time.
+func (t *Tagger) VerifyTag(segment []byte, index uint64, fileID string, tag []byte) bool {
+	want := t.Tag(segment, index, fileID)
+	return hmac.Equal(want, tag)
+}
+
+// ForgeryProbability returns the per-segment probability that a random tag
+// verifies, 2^-bits — the quantity traded against storage overhead when
+// choosing the tag width.
+func (t *Tagger) ForgeryProbability() float64 {
+	p := 1.0
+	for i := 0; i < t.bits; i++ {
+		p /= 2
+	}
+	return p
+}
+
+// Signer wraps an ECDSA P-256 private key used by the verifier device to
+// sign audit transcripts (§V-B: Sign_SK(R)).
+type Signer struct {
+	priv *ecdsa.PrivateKey
+}
+
+// NewSigner generates a fresh P-256 signing key.
+func NewSigner() (*Signer, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate signing key: %w", err)
+	}
+	return &Signer{priv: priv}, nil
+}
+
+// Public returns the verification key.
+func (s *Signer) Public() *ecdsa.PublicKey { return &s.priv.PublicKey }
+
+// Sign signs the SHA-256 digest of msg and returns an ASN.1 signature.
+func (s *Signer) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rand.Reader, s.priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("sign transcript: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks sig over msg under pub.
+func Verify(pub *ecdsa.PublicKey, msg, sig []byte) error {
+	digest := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(pub, digest[:], sig) {
+		return ErrBadSignature
+	}
+	return nil
+}
+
+// ChallengeIndices derives k pseudorandom distinct segment indices in
+// [0, n) from the challenge key and a nonce, using rejection sampling over
+// an HMAC-SHA256 counter stream. It reproduces the verifier's random
+// challenge set c = {c_1..c_k} ⊆ {1..n} (§V-B) deterministically for a
+// given (key, nonce), which lets the TPA re-derive and cross-check the
+// challenged set.
+func ChallengeIndices(key, nonce []byte, n uint64, k int) ([]uint64, error) {
+	if n == 0 || k < 0 || uint64(k) > n {
+		return nil, fmt.Errorf("crypt: cannot pick %d distinct indices from %d", k, n)
+	}
+	out := make([]uint64, 0, k)
+	seen := make(map[uint64]bool, k)
+	var ctr uint64
+	for len(out) < k {
+		mac := hmac.New(sha256.New, key)
+		mac.Write(nonce)
+		var c [8]byte
+		binary.BigEndian.PutUint64(c[:], ctr)
+		mac.Write(c[:])
+		sum := mac.Sum(nil)
+		ctr++
+		for off := 0; off+8 <= len(sum) && len(out) < k; off += 8 {
+			v := binary.BigEndian.Uint64(sum[off:]) % n
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		if ctr > uint64(k)*64+1024 {
+			return nil, errors.New("crypt: challenge derivation did not converge")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+package crypt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeriveKeysDistinctAndDeterministic(t *testing.T) {
+	master := []byte("master-secret")
+	a := DeriveKeys(master, "file-1")
+	b := DeriveKeys(master, "file-1")
+	c := DeriveKeys(master, "file-2")
+
+	if !bytes.Equal(a.Enc, b.Enc) || !bytes.Equal(a.MAC, b.MAC) {
+		t.Fatal("derivation not deterministic")
+	}
+	sub := [][]byte{a.Enc, a.MAC, a.PRP, a.Chal}
+	for i := range sub {
+		for j := i + 1; j < len(sub); j++ {
+			if bytes.Equal(sub[i], sub[j]) {
+				t.Fatalf("subkeys %d and %d collide", i, j)
+			}
+		}
+	}
+	if bytes.Equal(a.Enc, c.Enc) {
+		t.Fatal("different files share encryption keys")
+	}
+}
+
+func TestNewMasterKey(t *testing.T) {
+	k1, err := NewMasterKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewMasterKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k1) != 32 || bytes.Equal(k1, k2) {
+		t.Fatal("master keys must be 32 random bytes")
+	}
+}
+
+func TestEncryptCTRRoundTrip(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	plain := []byte("the quick brown fox jumps over the lazy dog")
+	data := make([]byte, len(plain))
+	copy(data, plain)
+
+	if err := EncryptCTR(key, "fid", data); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(data, plain) {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	if err := EncryptCTR(key, "fid", data); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, plain) {
+		t.Fatal("decrypt round trip failed")
+	}
+}
+
+func TestEncryptCTRDifferentFileIDs(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	_ = EncryptCTR(key, "file-a", a)
+	_ = EncryptCTR(key, "file-b", b)
+	if bytes.Equal(a, b) {
+		t.Fatal("different file IDs produced the same keystream")
+	}
+}
+
+func TestEncryptCTRBadKey(t *testing.T) {
+	if err := EncryptCTR([]byte("short"), "fid", []byte("x")); !errors.Is(err, ErrBadKeyLen) {
+		t.Fatalf("got %v, want ErrBadKeyLen", err)
+	}
+}
+
+func TestTaggerWidths(t *testing.T) {
+	for _, bits := range []int{8, 20, 32, 64, 160, 256} {
+		tg, err := NewTagger([]byte("k"), bits)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		tag := tg.Tag([]byte("segment"), 3, "fid")
+		if len(tag) != (bits+7)/8 {
+			t.Fatalf("bits=%d: tag is %d bytes", bits, len(tag))
+		}
+		if !tg.VerifyTag([]byte("segment"), 3, "fid", tag) {
+			t.Fatalf("bits=%d: fresh tag fails verification", bits)
+		}
+	}
+}
+
+func TestTaggerRejectsBadWidths(t *testing.T) {
+	for _, bits := range []int{0, 7, 257, -8} {
+		if _, err := NewTagger([]byte("k"), bits); !errors.Is(err, ErrBadTagBits) {
+			t.Fatalf("bits=%d accepted", bits)
+		}
+	}
+}
+
+func TestTagPaddingBitsZero(t *testing.T) {
+	tg, _ := NewTagger([]byte("k"), 20)
+	for i := uint64(0); i < 50; i++ {
+		tag := tg.Tag([]byte("seg"), i, "fid")
+		if tag[2]&0x0F != 0 {
+			t.Fatalf("20-bit tag has non-zero padding bits: %x", tag)
+		}
+	}
+}
+
+func TestTagBindsAllInputs(t *testing.T) {
+	tg, _ := NewTagger([]byte("k"), 64)
+	base := tg.Tag([]byte("seg"), 1, "fid")
+	if tg.VerifyTag([]byte("seX"), 1, "fid", base) {
+		t.Fatal("tag ignores segment content")
+	}
+	if tg.VerifyTag([]byte("seg"), 2, "fid", base) {
+		t.Fatal("tag ignores index")
+	}
+	if tg.VerifyTag([]byte("seg"), 1, "other", base) {
+		t.Fatal("tag ignores file ID")
+	}
+	tg2, _ := NewTagger([]byte("k2"), 64)
+	if tg2.VerifyTag([]byte("seg"), 1, "fid", base) {
+		t.Fatal("tag ignores key")
+	}
+}
+
+func TestForgeryProbability(t *testing.T) {
+	tg, _ := NewTagger([]byte("k"), 20)
+	want := 1.0 / (1 << 20)
+	if got := tg.ForgeryProbability(); got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("audit transcript")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.Public(), msg, sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if err := Verify(s.Public(), []byte("tampered"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatal("tampered message accepted")
+	}
+	other, _ := NewSigner()
+	if err := Verify(other.Public(), msg, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestChallengeIndicesDistinctAndInRange(t *testing.T) {
+	idx, err := ChallengeIndices([]byte("k"), []byte("nonce"), 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 100 {
+		t.Fatalf("got %d indices", len(idx))
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range idx {
+		if v >= 1000 {
+			t.Fatalf("index %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate index %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestChallengeIndicesDeterministicPerNonce(t *testing.T) {
+	a, _ := ChallengeIndices([]byte("k"), []byte("n1"), 500, 50)
+	b, _ := ChallengeIndices([]byte("k"), []byte("n1"), 500, 50)
+	c, _ := ChallengeIndices([]byte("k"), []byte("n2"), 500, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same nonce gave different challenges")
+		}
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different nonces gave identical challenges")
+	}
+}
+
+func TestChallengeIndicesFullDomain(t *testing.T) {
+	idx, err := ChallengeIndices([]byte("k"), []byte("n"), 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	for _, v := range idx {
+		seen[v] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("full-domain draw covered %d of 64", len(seen))
+	}
+}
+
+func TestChallengeIndicesBadArgs(t *testing.T) {
+	if _, err := ChallengeIndices([]byte("k"), []byte("n"), 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := ChallengeIndices([]byte("k"), []byte("n"), 10, 11); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := ChallengeIndices([]byte("k"), []byte("n"), 10, -1); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}
+
+func TestTagDeterministicProperty(t *testing.T) {
+	tg, _ := NewTagger([]byte("prop-key"), 32)
+	f := func(seg []byte, idx uint64) bool {
+		a := tg.Tag(seg, idx, "fid")
+		b := tg.Tag(seg, idx, "fid")
+		return bytes.Equal(a, b) && tg.VerifyTag(seg, idx, "fid", a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

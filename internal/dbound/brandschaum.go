@@ -1,0 +1,137 @@
+package dbound
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"math/rand"
+	"time"
+
+	"repro/internal/crypt"
+)
+
+// BrandsChaum is the original distance-bounding protocol (paper §III-A,
+// [7]): the prover commits to a random bit string m, answers challenge
+// α_i with β_i = α_i ⊕ m_i in the timed phase, then opens the commitment
+// and signs the transcript it observed. The signature pins the transcript,
+// so a pre-ask relay only succeeds when its guessed challenge string
+// exactly matches the verifier's — probability (1/2)^n.
+type BrandsChaum struct{}
+
+var _ Protocol = BrandsChaum{}
+
+// Name returns the protocol name.
+func (BrandsChaum) Name() string { return "Brands-Chaum" }
+
+// ResistsMafiaPreAsk is true: the signed transcript reduces relays to
+// guessing.
+func (BrandsChaum) ResistsMafiaPreAsk() bool { return true }
+
+// ResistsTerrorist is false: a colluding prover can hand m to an
+// accomplice and sign the resulting transcript afterwards (the closing is
+// untimed), as the paper notes when motivating Bussard's and Reid's work.
+func (BrandsChaum) ResistsTerrorist() bool { return false }
+
+// bcProver is the honest prover: commitment, XOR responses, signature.
+type bcProver struct {
+	rng    *rand.Rand
+	signer *crypt.Signer
+	m      []byte // one bit per byte
+	nonceP []byte
+	seen   []RoundRecord // prover's own transcript view
+}
+
+func (p *bcProver) Init(nonceV []byte) ([]byte, error) {
+	p.nonceP = make([]byte, 16)
+	p.rng.Read(p.nonceP)
+	for i := range p.m {
+		p.m[i] = byte(p.rng.Intn(2))
+	}
+	commit := bcCommit(p.m, p.nonceP)
+	return append(append([]byte{}, p.nonceP...), commit...), nil
+}
+
+func (p *bcProver) Respond(i int, c byte) (byte, time.Duration, bool) {
+	bit := (c & 1) ^ p.m[i]
+	p.seen = append(p.seen, RoundRecord{Challenge: c & 1, Response: bit})
+	return bit, 0, false
+}
+
+func (p *bcProver) Finalize() ([]byte, error) {
+	sig, err := p.signer.Sign(transcriptBytes(p.seen))
+	if err != nil {
+		return nil, err
+	}
+	// closing = m ‖ sig; the checker knows n, so the split is unambiguous.
+	return append(append([]byte{}, p.m...), sig...), nil
+}
+
+// bcCheckerReal verifies commitment opening, response bits and signature.
+type bcCheckerReal struct {
+	n      int
+	pubKey *crypt.Signer // verification uses the paired signer's public key
+	nonceP []byte
+	commit []byte
+}
+
+func (c *bcCheckerReal) Begin(nonceV, openP []byte) error {
+	if len(openP) != 16+sha256.Size {
+		return ErrBadClosing
+	}
+	c.nonceP = append([]byte{}, openP[:16]...)
+	c.commit = append([]byte{}, openP[16:]...)
+	return nil
+}
+
+func (c *bcCheckerReal) Check(rounds []RoundRecord, closing []byte) error {
+	if c.commit == nil {
+		return ErrBadSession
+	}
+	if len(closing) < c.n {
+		return ErrBadClosing
+	}
+	m, sig := closing[:c.n], closing[c.n:]
+	if !bytes.Equal(bcCommit(m, c.nonceP), c.commit) {
+		return errors.Join(ErrBadClosing, errors.New("commitment opening mismatch"))
+	}
+	wrong := 0
+	for i, r := range rounds {
+		if r.Challenge^m[i] != r.Response {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		return &bitErrorsError{n: wrong}
+	}
+	if err := crypt.Verify(c.pubKey.Public(), transcriptBytes(rounds), sig); err != nil {
+		return errors.Join(ErrBadClosing, err)
+	}
+	return nil
+}
+
+func bcCommit(m, nonce []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("BC/commit"))
+	h.Write(m)
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+// Pair returns an honest Brands-Chaum prover/checker pair. The secret is
+// unused (the protocol is public-key based); a fresh signing key is
+// generated per pair and its public half given to the checker.
+func (BrandsChaum) Pair(secret []byte, n int, rng *rand.Rand) (Prover, Checker, error) {
+	if n <= 0 {
+		return nil, nil, ErrBadRounds
+	}
+	if rng == nil {
+		return nil, nil, errors.New("dbound: nil rng")
+	}
+	signer, err := crypt.NewSigner()
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &bcProver{rng: rng, signer: signer, m: make([]byte, n)}
+	c := &bcCheckerReal{n: n, pubKey: signer}
+	return p, c, nil
+}

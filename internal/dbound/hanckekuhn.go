@@ -1,0 +1,111 @@
+package dbound
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// HanckeKuhn is the symmetric-key distance-bounding protocol of Hancke and
+// Kuhn (paper §III-A, Fig. 2): both sides derive d = h_s(r_V ‖ r_P), split
+// it into registers l and r, and the prover answers challenge bit α_i with
+// l[i] or r[i]. There is no closing message, which is what leaves the
+// protocol exposed to the (3/4)^n pre-ask mafia fraud and to terrorist
+// collusion (handing over d reveals nothing about s).
+type HanckeKuhn struct{}
+
+var _ Protocol = HanckeKuhn{}
+
+// Name returns the protocol name.
+func (HanckeKuhn) Name() string { return "Hancke-Kuhn" }
+
+// ResistsMafiaPreAsk is false: pre-asking yields 3/4 per round.
+func (HanckeKuhn) ResistsMafiaPreAsk() bool { return false }
+
+// ResistsTerrorist is false: the registers are independent of the secret.
+func (HanckeKuhn) ResistsTerrorist() bool { return false }
+
+// hkState holds the per-session registers shared by prover and checker.
+type hkState struct {
+	secret []byte
+	n      int
+	r0, r1 []byte // one bit per byte
+	ready  bool
+}
+
+func (s *hkState) derive(nonceV, nonceP []byte) {
+	seed := append(append([]byte{}, nonceV...), nonceP...)
+	d := expandBits(s.secret, "HK/d", seed, 2*s.n)
+	s.r0, s.r1 = d[:s.n], d[s.n:]
+	s.ready = true
+}
+
+func (s *hkState) respond(i int, c byte) byte {
+	if c&1 == 0 {
+		return s.r0[i]
+	}
+	return s.r1[i]
+}
+
+// hkProver is the honest prover.
+type hkProver struct {
+	state hkState
+	rng   *rand.Rand
+}
+
+func (p *hkProver) Init(nonceV []byte) ([]byte, error) {
+	nonceP := make([]byte, 16)
+	p.rng.Read(nonceP)
+	p.state.derive(nonceV, nonceP)
+	return nonceP, nil
+}
+
+func (p *hkProver) Respond(i int, c byte) (byte, time.Duration, bool) {
+	return p.state.respond(i, c), 0, false
+}
+
+func (p *hkProver) Finalize() ([]byte, error) { return nil, nil }
+
+// hkChecker verifies responses against its own register copy.
+type hkChecker struct {
+	state hkState
+}
+
+func (c *hkChecker) Begin(nonceV, openP []byte) error {
+	c.state.derive(nonceV, openP)
+	return nil
+}
+
+func (c *hkChecker) Check(rounds []RoundRecord, closing []byte) error {
+	if !c.state.ready {
+		return ErrBadSession
+	}
+	if len(closing) != 0 {
+		return ErrBadClosing
+	}
+	wrong := 0
+	for i, r := range rounds {
+		if c.state.respond(i, r.Challenge) != r.Response {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		return &bitErrorsError{n: wrong}
+	}
+	return nil
+}
+
+// Pair returns an honest Hancke-Kuhn prover/checker pair.
+func (HanckeKuhn) Pair(secret []byte, n int, rng *rand.Rand) (Prover, Checker, error) {
+	if n <= 0 {
+		return nil, nil, ErrBadRounds
+	}
+	if rng == nil {
+		return nil, nil, errors.New("dbound: nil rng")
+	}
+	sec := make([]byte, len(secret))
+	copy(sec, secret)
+	p := &hkProver{state: hkState{secret: sec, n: n}, rng: rng}
+	c := &hkChecker{state: hkState{secret: sec, n: n}}
+	return p, c, nil
+}

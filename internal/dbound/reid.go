@@ -1,0 +1,133 @@
+package dbound
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Reid is the protocol of Reid, Gonzalez Nieto, Tang and Senadji (paper
+// §III-A, Fig. 3): identities are exchanged in the initialisation phase, a
+// session key k = KDF(ID_V, ID_P, r_V, r_P) encrypts the shared secret s,
+// and the two response registers are the ciphertext e = k ⊕ s and s
+// itself. Because the registers jointly reveal the long-term secret, a
+// colluding prover cannot equip an accomplice without surrendering s —
+// the terrorist-fraud resistance the paper highlights.
+type Reid struct {
+	IDVerifier string
+	IDProver   string
+}
+
+var _ Protocol = Reid{}
+
+// Name returns the protocol name.
+func (Reid) Name() string { return "Reid et al." }
+
+// ResistsMafiaPreAsk is false: like Hancke-Kuhn, pre-asking reaches 3/4
+// per round.
+func (Reid) ResistsMafiaPreAsk() bool { return false }
+
+// ResistsTerrorist is true: register disclosure equals key disclosure.
+func (Reid) ResistsTerrorist() bool { return true }
+
+func (r Reid) ids() []byte {
+	idv, idp := r.IDVerifier, r.IDProver
+	if idv == "" {
+		idv = "V"
+	}
+	if idp == "" {
+		idp = "P"
+	}
+	return append(append([]byte(idv), 0), []byte(idp)...)
+}
+
+// reidState derives the e and s registers for one session.
+type reidState struct {
+	secret []byte
+	ids    []byte
+	n      int
+	e, s   []byte
+	ready  bool
+}
+
+func (st *reidState) derive(nonceV, nonceP []byte) {
+	// s-register: long-term, derived from the secret only.
+	st.s = expandBits(st.secret, "Reid/s", nil, st.n)
+	// Session key bits: bound to identities and both nonces.
+	seed := append(append(append([]byte{}, st.ids...), nonceV...), nonceP...)
+	k := expandBits(st.secret, "Reid/kdf", seed, st.n)
+	st.e = make([]byte, st.n)
+	for i := range st.e {
+		st.e[i] = k[i] ^ st.s[i]
+	}
+	st.ready = true
+}
+
+func (st *reidState) respond(i int, c byte) byte {
+	if c&1 == 0 {
+		return st.e[i]
+	}
+	return st.s[i]
+}
+
+type reidProver struct {
+	state reidState
+	rng   *rand.Rand
+}
+
+func (p *reidProver) Init(nonceV []byte) ([]byte, error) {
+	nonceP := make([]byte, 16)
+	p.rng.Read(nonceP)
+	p.state.derive(nonceV, nonceP)
+	return nonceP, nil
+}
+
+func (p *reidProver) Respond(i int, c byte) (byte, time.Duration, bool) {
+	return p.state.respond(i, c), 0, false
+}
+
+func (p *reidProver) Finalize() ([]byte, error) { return nil, nil }
+
+type reidChecker struct {
+	state reidState
+}
+
+func (c *reidChecker) Begin(nonceV, openP []byte) error {
+	c.state.derive(nonceV, openP)
+	return nil
+}
+
+func (c *reidChecker) Check(rounds []RoundRecord, closing []byte) error {
+	if !c.state.ready {
+		return ErrBadSession
+	}
+	if len(closing) != 0 {
+		return ErrBadClosing
+	}
+	wrong := 0
+	for i, r := range rounds {
+		if c.state.respond(i, r.Challenge) != r.Response {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		return &bitErrorsError{n: wrong}
+	}
+	return nil
+}
+
+// Pair returns an honest Reid prover/checker pair.
+func (r Reid) Pair(secret []byte, n int, rng *rand.Rand) (Prover, Checker, error) {
+	if n <= 0 {
+		return nil, nil, ErrBadRounds
+	}
+	if rng == nil {
+		return nil, nil, errors.New("dbound: nil rng")
+	}
+	sec := make([]byte, len(secret))
+	copy(sec, secret)
+	ids := r.ids()
+	p := &reidProver{state: reidState{secret: sec, ids: ids, n: n}, rng: rng}
+	c := &reidChecker{state: reidState{secret: sec, ids: ids, n: n}}
+	return p, c, nil
+}

@@ -1,0 +1,300 @@
+// Package dpor implements the dynamic proof-of-retrievability extension
+// the paper points at in §IV: Wang et al.'s DPOR authenticates file
+// blocks with a Merkle hash tree instead of embedded MACs, so the client
+// can update, append and audit data that changes after upload. Combined
+// with GeoProof's timed rounds (see geoproof.go) it yields geographic
+// assurance for *dynamic* cloud storage.
+//
+// Client state is constant-size: the master key and the current Merkle
+// root. Every read, write and append is verified against that root; the
+// next root after a write is computed client-side from the verified
+// authentication path, so a cheating server can never rewrite history
+// undetected.
+package dpor
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/crypt"
+	"repro/internal/merkle"
+)
+
+// Errors reported by the dynamic POR layer.
+var (
+	ErrProof       = errors.New("dpor: block proof invalid")
+	ErrRootDiverge = errors.New("dpor: server root diverges from client prediction")
+	ErrBadBlock    = errors.New("dpor: malformed stored block")
+	ErrOutOfRange  = errors.New("dpor: block index out of range")
+)
+
+// versionPrefix is the length of the per-block version header.
+const versionPrefix = 8
+
+// Store is the server side: stored leaves (version ‖ ciphertext) under a
+// Merkle tree. It holds no keys.
+type Store struct {
+	FileID string
+	blocks [][]byte
+	tree   *merkle.Tree
+}
+
+// NewStore ingests the leaves produced by Client.Init.
+func NewStore(fileID string, leaves [][]byte) (*Store, error) {
+	tree, err := merkle.New(leaves)
+	if err != nil {
+		return nil, err
+	}
+	copied := make([][]byte, len(leaves))
+	for i, l := range leaves {
+		copied[i] = append([]byte{}, l...)
+	}
+	return &Store{FileID: fileID, blocks: copied, tree: tree}, nil
+}
+
+// Len returns the number of stored blocks.
+func (s *Store) Len() int { return len(s.blocks) }
+
+// Root returns the server's current root.
+func (s *Store) Root() merkle.Hash { return s.tree.Root() }
+
+// Read returns block i with its authentication path.
+func (s *Store) Read(i int) ([]byte, merkle.Proof, error) {
+	if i < 0 || i >= len(s.blocks) {
+		return nil, merkle.Proof{}, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, len(s.blocks))
+	}
+	proof, err := s.tree.Prove(i)
+	if err != nil {
+		return nil, merkle.Proof{}, err
+	}
+	return append([]byte{}, s.blocks[i]...), proof, nil
+}
+
+// Write replaces block i.
+func (s *Store) Write(i int, leaf []byte) error {
+	if i < 0 || i >= len(s.blocks) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, len(s.blocks))
+	}
+	s.blocks[i] = append([]byte{}, leaf...)
+	return s.tree.Update(i, leaf)
+}
+
+// Append adds a block at the end.
+func (s *Store) Append(leaf []byte) {
+	s.blocks = append(s.blocks, append([]byte{}, leaf...))
+	s.tree.Append(leaf)
+}
+
+// Peaks exposes the perfect-subtree decomposition for append
+// verification.
+func (s *Store) Peaks() []merkle.Peak { return s.tree.Peaks() }
+
+// Corrupt trashes the raw bytes of block i without updating the tree —
+// the misbehaving-server primitive for tests and experiments.
+func (s *Store) Corrupt(i int, garbage []byte) error {
+	if i < 0 || i >= len(s.blocks) {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, len(s.blocks))
+	}
+	s.blocks[i] = append([]byte{}, garbage...)
+	return nil
+}
+
+// Client is the data owner: master key plus the current root.
+type Client struct {
+	fileID    string
+	keys      crypt.KeySet
+	blockSize int
+	root      merkle.Hash
+	numBlocks int
+}
+
+// NewClient derives the client's keys for a file.
+func NewClient(master []byte, fileID string, blockSize int) (*Client, error) {
+	if blockSize <= 0 {
+		return nil, errors.New("dpor: block size must be positive")
+	}
+	return &Client{
+		fileID:    fileID,
+		keys:      crypt.DeriveKeys(master, "dpor/"+fileID),
+		blockSize: blockSize,
+	}, nil
+}
+
+// Root returns the client's trusted root.
+func (c *Client) Root() merkle.Hash { return c.root }
+
+// NumBlocks returns the client's view of the block count.
+func (c *Client) NumBlocks() int { return c.numBlocks }
+
+// blockIV derives the CTR IV for (index, version); bumping the version on
+// every write prevents keystream reuse.
+func (c *Client) blockIV(index int, version uint64) []byte {
+	h := sha256.New()
+	h.Write([]byte("dpor/iv/"))
+	h.Write([]byte(c.fileID))
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], uint64(index))
+	binary.BigEndian.PutUint64(b[8:], version)
+	h.Write(b[:])
+	return h.Sum(nil)[:aes.BlockSize]
+}
+
+// seal encrypts a plaintext block into leaf form: version ‖ ciphertext.
+func (c *Client) seal(index int, version uint64, plain []byte) ([]byte, error) {
+	block, err := aes.NewCipher(c.keys.Enc)
+	if err != nil {
+		return nil, err
+	}
+	leaf := make([]byte, versionPrefix+len(plain))
+	binary.BigEndian.PutUint64(leaf[:versionPrefix], version)
+	cipher.NewCTR(block, c.blockIV(index, version)).XORKeyStream(leaf[versionPrefix:], plain)
+	return leaf, nil
+}
+
+// open decrypts a leaf back to (version, plaintext).
+func (c *Client) open(index int, leaf []byte) (uint64, []byte, error) {
+	if len(leaf) < versionPrefix {
+		return 0, nil, ErrBadBlock
+	}
+	version := binary.BigEndian.Uint64(leaf[:versionPrefix])
+	block, err := aes.NewCipher(c.keys.Enc)
+	if err != nil {
+		return 0, nil, err
+	}
+	plain := make([]byte, len(leaf)-versionPrefix)
+	cipher.NewCTR(block, c.blockIV(index, version)).XORKeyStream(plain, leaf[versionPrefix:])
+	return version, plain, nil
+}
+
+// Init prepares the initial upload: the file is padded to whole blocks
+// and sealed; the client retains the resulting root. It returns the
+// leaves to hand to the server.
+func (c *Client) Init(data []byte) ([][]byte, error) {
+	n := (len(data) + c.blockSize - 1) / c.blockSize
+	if n == 0 {
+		n = 1
+	}
+	padded := make([]byte, n*c.blockSize)
+	copy(padded, data)
+	leaves := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		leaf, err := c.seal(i, 0, padded[i*c.blockSize:(i+1)*c.blockSize])
+		if err != nil {
+			return nil, err
+		}
+		leaves[i] = leaf
+	}
+	tree, err := merkle.New(leaves)
+	if err != nil {
+		return nil, err
+	}
+	c.root = tree.Root()
+	c.numBlocks = n
+	return leaves, nil
+}
+
+// Read fetches and verifies block i, returning the plaintext.
+func (c *Client) Read(s *Store, i int) ([]byte, error) {
+	leaf, proof, err := s.Read(i)
+	if err != nil {
+		return nil, err
+	}
+	if proof.Index != i {
+		return nil, fmt.Errorf("%w: proof for %d, asked %d", ErrProof, proof.Index, i)
+	}
+	if err := merkle.Verify(c.root, leaf, proof); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrProof, err)
+	}
+	_, plain, err := c.open(i, leaf)
+	return plain, err
+}
+
+// Update overwrites block i with newPlain: the old proof is verified,
+// the new root computed locally, the write applied, and the server's
+// root compared against the prediction.
+func (c *Client) Update(s *Store, i int, newPlain []byte) error {
+	if len(newPlain) != c.blockSize {
+		return fmt.Errorf("dpor: update must be exactly %d bytes", c.blockSize)
+	}
+	leaf, proof, err := s.Read(i)
+	if err != nil {
+		return err
+	}
+	if err := merkle.Verify(c.root, leaf, proof); err != nil {
+		return fmt.Errorf("%w: %v", ErrProof, err)
+	}
+	oldVersion, _, err := c.open(i, leaf)
+	if err != nil {
+		return err
+	}
+	newLeaf, err := c.seal(i, oldVersion+1, newPlain)
+	if err != nil {
+		return err
+	}
+	predicted := merkle.RootAfterUpdate(newLeaf, proof)
+	if err := s.Write(i, newLeaf); err != nil {
+		return err
+	}
+	if !merkle.Equal(s.Root(), predicted) {
+		return ErrRootDiverge
+	}
+	c.root = predicted
+	return nil
+}
+
+// Append adds a block: the server's peak decomposition is verified
+// against the trusted root, carry-merged with the new leaf, and the
+// resulting root compared after the append.
+func (c *Client) Append(s *Store, plain []byte) error {
+	if len(plain) != c.blockSize {
+		return fmt.Errorf("dpor: append must be exactly %d bytes", c.blockSize)
+	}
+	peaks := s.Peaks()
+	if !merkle.Equal(merkle.FoldPeaks(peaks), c.root) {
+		return fmt.Errorf("%w: peaks", ErrProof)
+	}
+	newLeaf, err := c.seal(c.numBlocks, 0, plain)
+	if err != nil {
+		return err
+	}
+	predicted := merkle.FoldPeaks(merkle.AppendPeaks(peaks, newLeaf))
+	s.Append(newLeaf)
+	if !merkle.Equal(s.Root(), predicted) {
+		return ErrRootDiverge
+	}
+	c.root = predicted
+	c.numBlocks++
+	return nil
+}
+
+// Audit spot-checks k pseudorandom blocks (indices derived from the
+// nonce, like the static POR challenge) and returns how many verified.
+func (c *Client) Audit(s *Store, nonce []byte, k int) (int, error) {
+	idx, err := crypt.ChallengeIndices(c.keys.Chal, nonce, uint64(c.numBlocks), k)
+	if err != nil {
+		return 0, err
+	}
+	ok := 0
+	var firstErr error
+	for _, i := range idx {
+		leaf, proof, err := s.Read(int(i))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := merkle.Verify(c.root, leaf, proof); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("block %d: %w", i, ErrProof)
+			}
+			continue
+		}
+		ok++
+	}
+	return ok, firstErr
+}

@@ -1,0 +1,183 @@
+package dpor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/disk"
+	"repro/internal/geo"
+	"repro/internal/merkle"
+)
+
+// GeoProof integration: the verifier device's timed rounds are payload-
+// agnostic, so dynamic audits reuse core.Verifier unchanged — only the
+// prover serves leaf‖proof blobs instead of MAC-tagged segments, and the
+// TPA-side verification checks Merkle paths against the client's trusted
+// root instead of recomputing MACs.
+
+// EncodeResponse serialises leaf ‖ proof for the wire:
+// u32 leafLen ‖ leaf ‖ u32 index ‖ u16 steps ‖ (32-byte sibling ‖ dir)*.
+func EncodeResponse(leaf []byte, proof merkle.Proof) []byte {
+	out := make([]byte, 0, 4+len(leaf)+6+len(proof.Steps)*33)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(leaf)))
+	out = append(out, u32[:]...)
+	out = append(out, leaf...)
+	binary.BigEndian.PutUint32(u32[:], uint32(proof.Index))
+	out = append(out, u32[:]...)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(proof.Steps)))
+	out = append(out, u16[:]...)
+	for _, s := range proof.Steps {
+		out = append(out, s.Sibling[:]...)
+		if s.Left {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// DecodeResponse parses a leaf‖proof blob.
+func DecodeResponse(b []byte) ([]byte, merkle.Proof, error) {
+	if len(b) < 4 {
+		return nil, merkle.Proof{}, ErrBadBlock
+	}
+	leafLen := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < leafLen+6 {
+		return nil, merkle.Proof{}, ErrBadBlock
+	}
+	leaf := append([]byte{}, b[:leafLen]...)
+	b = b[leafLen:]
+	proof := merkle.Proof{Index: int(binary.BigEndian.Uint32(b))}
+	steps := int(binary.BigEndian.Uint16(b[4:6]))
+	b = b[6:]
+	if len(b) != steps*33 {
+		return nil, merkle.Proof{}, ErrBadBlock
+	}
+	for i := 0; i < steps; i++ {
+		var s merkle.ProofStep
+		copy(s.Sibling[:], b[i*33:i*33+32])
+		s.Left = b[i*33+32] == 1
+		proof.Steps = append(proof.Steps, s)
+	}
+	return leaf, proof, nil
+}
+
+// Provider serves dynamic blocks as a cloud.Provider, charging the disk
+// model's look-up latency per read (plus one extra seek-free read per
+// proof level is folded into the same access: tree nodes are assumed
+// cached in RAM, as Wang et al. do).
+type Provider struct {
+	Store    *Store
+	Position geo.Position
+	Disk     disk.Model
+}
+
+var _ cloud.Provider = (*Provider)(nil)
+
+// Name labels the configuration.
+func (p *Provider) Name() string { return "dpor@" + p.Position.String() }
+
+// ClaimedPosition is where the provider says the store lives.
+func (p *Provider) ClaimedPosition() geo.Position { return p.Position }
+
+// FetchSegment serves leaf i with its proof.
+func (p *Provider) FetchSegment(fileID string, i int64) ([]byte, time.Duration, error) {
+	if fileID != p.Store.FileID {
+		return nil, 0, fmt.Errorf("%w: %s", cloud.ErrNoSuchFile, fileID)
+	}
+	leaf, proof, err := p.Store.Read(int(i))
+	if err != nil {
+		return nil, 0, err
+	}
+	lookup := p.Disk.LookupLatency(len(leaf))
+	return EncodeResponse(leaf, proof), lookup, nil
+}
+
+// Auditor is the dynamic-data TPA: it trusts the client's current root
+// and applies the same §V-B checks as core.TPA, with Merkle verification
+// in place of MACs.
+type Auditor struct {
+	Root   merkle.Hash
+	Pub    *crypt.Signer // verifier's key holder (public part used)
+	Policy core.Policy
+}
+
+// VerifyAudit checks a signed transcript produced by core.Verifier
+// against a dynamic store.
+func (a *Auditor) VerifyAudit(req core.AuditRequest, st core.SignedTranscript) core.Report {
+	rep := core.Report{}
+	tr := st.Transcript
+
+	if err := crypt.Verify(a.Pub.Public(), tr.Marshal(), st.Signature); err == nil {
+		rep.SignatureOK = true
+	} else {
+		rep.Reasons = append(rep.Reasons, "transcript signature invalid")
+	}
+	if !core.NonceEqual(tr.Nonce, req.Nonce) {
+		rep.Reasons = append(rep.Reasons, "nonce mismatch")
+	}
+	if a.Policy.SLA.Permits(tr.Position) {
+		rep.PositionOK = true
+	} else {
+		rep.Reasons = append(rep.Reasons, "verifier position outside SLA region")
+	}
+	want, err := core.DeriveIndices(req.Nonce, req.NumSegments, req.K)
+	rep.IndicesOK = err == nil && len(want) == len(tr.Rounds)
+	if rep.IndicesOK {
+		for i, r := range tr.Rounds {
+			if r.Index != want[i] {
+				rep.IndicesOK = false
+				break
+			}
+		}
+	}
+	if !rep.IndicesOK {
+		rep.Reasons = append(rep.Reasons, "challenge indices do not match nonce derivation")
+	}
+
+	var sum time.Duration
+	timed := 0
+	for _, r := range tr.Rounds {
+		if r.Failed {
+			rep.FailedRounds++
+			continue
+		}
+		leaf, proof, err := DecodeResponse(r.Segment)
+		if err != nil || proof.Index != int(r.Index) || merkle.Verify(a.Root, leaf, proof) != nil {
+			rep.SegmentsBad++
+		} else {
+			rep.SegmentsOK++
+		}
+		if r.RTT > rep.MaxRTT {
+			rep.MaxRTT = r.RTT
+		}
+		sum += r.RTT
+		timed++
+	}
+	if timed > 0 {
+		rep.MeanRTT = sum / time.Duration(timed)
+	}
+	rep.MACsOK = rep.SegmentsBad == 0 && timed > 0
+	if rep.SegmentsBad > 0 {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("%d of %d blocks failed proof verification", rep.SegmentsBad, timed))
+	}
+	rep.TimingOK = timed > 0 && rep.MaxRTT <= a.Policy.TMax
+	if timed > 0 && !rep.TimingOK {
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("max RTT %v exceeds Δt_max %v", rep.MaxRTT, a.Policy.TMax))
+	}
+	if timed > 0 && a.Policy.NetSpeedKmPerMs > 0 {
+		rep.ImpliedMaxDistanceKm = geo.MaxDistanceKm(rep.MaxRTT-a.Policy.LookupBudget, a.Policy.NetSpeedKmPerMs)
+	}
+	rep.Accepted = rep.SignatureOK && rep.PositionOK && rep.IndicesOK &&
+		rep.MACsOK && rep.TimingOK && core.NonceEqual(tr.Nonce, req.Nonce) &&
+		rep.FailedRounds <= a.Policy.MaxFailedRounds
+	return rep
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/blockfile"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/disk"
+	"repro/internal/geo"
+	"repro/internal/reedsolomon"
+)
+
+// E10Ablations measures the design choices DESIGN.md §5 calls out:
+// tag width, MAC-verdict erasure hints, the per-round timing policy and
+// Δt_max headroom under disk load.
+func E10Ablations(seed int64) (Table, error) {
+	t := Table{
+		ID:     "E10 / ablations",
+		Title:  "Design-choice ablations",
+		Header: []string{"Choice", "Variant", "Result"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// --- tag width: forgery probability vs storage overhead ---
+	for _, bits := range []int{16, 20, 32, 64} {
+		tg, err := crypt.NewTagger([]byte("ablation"), bits)
+		if err != nil {
+			return t, err
+		}
+		p := blockfile.DefaultParams()
+		p.TagBits = bits
+		layout, err := blockfile.NewLayout(p, 2<<30)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"tag width",
+			fmt.Sprintf("%d bits", bits),
+			fmt.Sprintf("forgery 2^-%d = %.2e, MAC overhead %s", bits, tg.ForgeryProbability(), pct(layout.MACOverhead())),
+		})
+	}
+
+	// --- erasure hints double the repair budget ---
+	bc, err := reedsolomon.NewBlockCode(reedsolomon.MustNew(255, 223), 16)
+	if err != nil {
+		return t, err
+	}
+	data := make([]byte, 223*16)
+	rng.Read(data)
+	clean, err := bc.EncodeChunk(data)
+	if err != nil {
+		return t, err
+	}
+	for _, nBad := range []int{16, 24, 32} {
+		var blindOK, hintedOK int
+		const trials = 30
+		for trial := 0; trial < trials; trial++ {
+			corrupted := make([]byte, len(clean))
+			copy(corrupted, clean)
+			bad := rng.Perm(255)[:nBad]
+			for _, b := range bad {
+				rng.Read(corrupted[b*16 : (b+1)*16])
+			}
+			buf := make([]byte, len(corrupted))
+			copy(buf, corrupted)
+			if _, err := bc.DecodeChunk(buf, nil); err == nil {
+				blindOK++
+			}
+			copy(buf, corrupted)
+			if _, err := bc.DecodeChunk(buf, bad); err == nil {
+				hintedOK++
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			"MAC-verdict erasure hints",
+			fmt.Sprintf("%d/255 blocks corrupted", nBad),
+			fmt.Sprintf("blind decode %d/%d, hinted %d/%d", blindOK, trials, hintedOK, trials),
+		})
+	}
+
+	// --- timing policy: max-of-rounds vs mean-of-rounds ---
+	const rounds = 10
+	const policyTrials = 4000
+	tmax := 16 * time.Millisecond
+	var maxDetect, meanDetect int
+	for trial := 0; trial < policyTrials; trial++ {
+		var sum, max time.Duration
+		for j := 0; j < rounds; j++ {
+			rtt := 13*time.Millisecond + time.Duration(rng.Int63n(int64(time.Millisecond)))
+			if j == 0 {
+				rtt = 22 * time.Millisecond // one relayed round per audit
+			}
+			sum += rtt
+			if rtt > max {
+				max = rtt
+			}
+		}
+		if max > tmax {
+			maxDetect++
+		}
+		if sum/rounds > tmax {
+			meanDetect++
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"timing policy (1 of 10 rounds relayed)",
+		"max(Δt) vs mean(Δt)",
+		fmt.Sprintf("max detects %.1f%%, mean detects %.1f%%",
+			100*float64(maxDetect)/policyTrials, 100*float64(meanDetect)/policyTrials),
+	})
+
+	// --- POS flavour: sentinel vs MAC audit lifetime ---
+	// The sentinel POR spends its sentinels: with s hidden sentinels and
+	// q revealed per audit, the file supports s/q audits before it must
+	// be re-encoded. The MAC variant re-verifies tags indefinitely —
+	// the property GeoProof needs for continuous geographic monitoring.
+	for _, cfg := range []struct{ sentinels, perAudit int }{
+		{10000, 100}, {100000, 1000}, {1000000, 1000},
+	} {
+		t.Rows = append(t.Rows, []string{
+			"POS flavour (audit lifetime)",
+			fmt.Sprintf("sentinel s=%d, q=%d", cfg.sentinels, cfg.perAudit),
+			fmt.Sprintf("%d audits then re-encode; MAC variant: unbounded", cfg.sentinels/cfg.perAudit),
+		})
+	}
+
+	// --- Δt_max headroom under disk load ---
+	for _, extra := range []time.Duration{0, time.Millisecond, 3 * time.Millisecond, 5 * time.Millisecond} {
+		dep, err := newDeployment(nil, seed+int64(extra/time.Millisecond)+77)
+		if err != nil {
+			return t, err
+		}
+		site := cloud.NewSite(cloud.DataCenter{Name: "bne", Position: geo.Brisbane, Disk: disk.WD2500JD}, seed)
+		site.Store(dep.ef.FileID, dep.ef.Layout, dep.ef.Data)
+		var provider cloud.Provider = &cloud.HonestProvider{Site: site}
+		if extra > 0 {
+			provider = &cloud.ThrottledProvider{Inner: provider, Extra: extra}
+		}
+		if err := dep.net.SetHandler("prover", core.ProviderHandler(provider)); err != nil {
+			return t, err
+		}
+		rep, err := dep.audit(8)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			"Δt_max headroom under load",
+			fmt.Sprintf("+%v service delay", extra),
+			fmt.Sprintf("max RTT %.2f ms, accepted=%v", float64(rep.MaxRTT)/1e6, rep.Accepted),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper's 20-bit tags trade 2^-20 forgery for minimal overhead; audits verify many tags so soundness is cumulative",
+		"hinted decoding corrects up to 32 bad blocks per chunk vs 16 blind — MAC verdicts double the repair budget",
+		"per-round max timing catches a single relayed round that an aggregate mean policy misses",
+		"the ≈2 ms honest headroom tolerates ~2 ms of load-induced service delay before false rejections begin",
+	)
+	return t, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/dbound"
+	"repro/internal/geo"
+	"repro/internal/geoloc"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+// E8DistanceBounding reproduces the §III-A protocol review (Figs. 1-3) as
+// a measurable artifact: adversary success against each protocol, analytic
+// versus empirical.
+func E8DistanceBounding(seed int64) (Table, error) {
+	t := Table{
+		ID:     "E8 / §III-A, Figs. 1-3",
+		Title:  "Distance-bounding adversary success (n = 4 rounds)",
+		Header: []string{"Protocol", "Attack", "analytic", "empirical"},
+		Notes: []string{
+			"guessing (1/2)^n; pre-ask mafia (3/4)^n vs register protocols, (1/2)^n vs signed transcripts",
+			"terrorist: 1 where round material is key-independent, (3/4)^n for Reid",
+		},
+	}
+	const n = 4
+	const trials = 1500
+	protocols := []dbound.Protocol{
+		dbound.HanckeKuhn{},
+		dbound.BrandsChaum{},
+		dbound.Reid{IDVerifier: "TPA", IDProver: "cloud"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cfg := dbound.Config{
+		Rounds:   n,
+		TMax:     2 * time.Millisecond,
+		Clock:    vclock.NewVirtual(time.Time{}),
+		RTT:      func() time.Duration { return time.Millisecond },
+		EarlyRTT: time.Millisecond,
+		Rand:     rng,
+	}
+
+	type attack struct {
+		name     string
+		analytic func(dbound.Protocol) float64
+		build    func(real dbound.Prover) (dbound.Prover, error)
+	}
+	attacks := []attack{
+		{
+			name:     "guessing",
+			analytic: func(p dbound.Protocol) float64 { return dbound.GuessSuccessAgainst(p, n) },
+			build:    func(dbound.Prover) (dbound.Prover, error) { return &dbound.GuessingProver{Rng: rng}, nil },
+		},
+		{
+			name:     "pre-ask mafia",
+			analytic: func(p dbound.Protocol) float64 { return dbound.PreAskSuccess(p, n) },
+			build:    func(real dbound.Prover) (dbound.Prover, error) { return dbound.NewPreAskRelay(real, n, rng), nil },
+		},
+		{
+			name:     "terrorist",
+			analytic: func(p dbound.Protocol) float64 { return dbound.TerroristSuccess(p, n) },
+			build:    func(real dbound.Prover) (dbound.Prover, error) { return dbound.NewTerroristAccomplice(real, rng) },
+		},
+		{
+			name:     "distance fraud",
+			analytic: func(p dbound.Protocol) float64 { return dbound.DistanceFraudSuccess(p, n) },
+			build:    func(real dbound.Prover) (dbound.Prover, error) { return dbound.NewDistanceFraud(real, rng) },
+		},
+	}
+
+	for _, proto := range protocols {
+		for _, atk := range attacks {
+			accepted := 0
+			for trial := 0; trial < trials; trial++ {
+				real, checker, err := proto.Pair([]byte("shared-secret"), n, rng)
+				if err != nil {
+					return t, err
+				}
+				adv, err := atk.build(real)
+				if err != nil {
+					return t, err
+				}
+				res, _, err := dbound.Run(cfg, adv, checker)
+				if err != nil {
+					// A protocol-ignorant adversary (e.g. the guesser
+					// against Brands-Chaum) can fail at the opening
+					// handshake; that is a failed attack, not an
+					// experiment error.
+					continue
+				}
+				if res.Accepted {
+					accepted++
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				proto.Name(), atk.name,
+				fmt.Sprintf("%.4f", atk.analytic(proto)),
+				fmt.Sprintf("%.4f", float64(accepted)/trials),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E9Geolocation reproduces the §III-B review: baseline geolocation scheme
+// accuracy against honest and delay-adding adversarial targets, next to
+// GeoProof's behaviour under the same adversary.
+func E9Geolocation(seed int64) (Table, error) {
+	t := Table{
+		ID:     "E9 / §III-B",
+		Title:  "Geolocation baselines vs GeoProof under an adversarial target (truth: Sydney)",
+		Header: []string{"Scheme", "honest error", "adversary(+60 ms) error", "security behaviour"},
+	}
+	truth := geo.Sydney
+	landmarks := geoloc.AustralianLandmarks()
+	mkProbes := func(added time.Duration, s int64) []geoloc.Probe {
+		m := geoloc.ProbeModel{
+			Target:     truth,
+			AddedDelay: added,
+			LastMile:   simnet.DefaultLastMile,
+			Rng:        rand.New(rand.NewSource(s)),
+		}
+		return m.MeasureAll(landmarks)
+	}
+
+	gp := geoloc.BuildGeoPingDB(landmarks, geoloc.AustralianCandidates(), simnet.DefaultLastMile, rand.New(rand.NewSource(seed)))
+	oct := &geoloc.Octant{Overhead: 2 * simnet.DefaultLastMile}
+	tbg := &geoloc.TBG{Overhead: 2 * simnet.DefaultLastMile, GridStepKm: 20}
+
+	type scheme struct {
+		name string
+		run  func(ps []geoloc.Probe) (geoloc.Estimate, error)
+		note string
+	}
+	schemes := []scheme{
+		{"GeoPing", gp.Locate, "nearest delay vector: adversary shifts match arbitrarily"},
+		{"Octant", oct.Locate, "feasible region balloons with added delay"},
+		{"TBG", tbg.Locate, "multilateration residual grows; estimate drifts"},
+	}
+	for i, s := range schemes {
+		honest, err := s.run(mkProbes(0, seed+int64(i)))
+		if err != nil {
+			return t, err
+		}
+		adv, err := s.run(mkProbes(60*time.Millisecond, seed+int64(i)))
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			s.name,
+			km(honest.ErrorKm(truth)),
+			km(adv.ErrorKm(truth)),
+			s.note,
+		})
+	}
+	// IP mapping: the registry simply lies.
+	ipm := &geoloc.IPMapping{Table: map[string]geo.Position{"203.0.113.0/24": geo.Brisbane}}
+	est, err := ipm.LocatePrefix("203.0.113.0/24")
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"IP-mapping",
+		km(est.ErrorKm(truth)),
+		km(est.ErrorKm(truth)),
+		"database entry is attacker-controlled; no measurement at all",
+	})
+	t.Rows = append(t.Rows, []string{
+		"GeoProof",
+		"bound holds",
+		"bound only widens",
+		"added delay can only increase the implied distance (one-sided)",
+	})
+	t.Notes = append(t.Notes,
+		"paper: most geolocation schemes have worst-case errors over 1000 km and assume an honest target",
+	)
+	return t, nil
+}

@@ -1,0 +1,72 @@
+package geo
+
+import "time"
+
+// City positions used throughout the examples and experiments (decimal
+// degrees, WGS-84, city centres).
+var (
+	Brisbane   = Position{LatDeg: -27.4698, LonDeg: 153.0251}
+	Armidale   = Position{LatDeg: -30.5120, LonDeg: 151.6693}
+	Sydney     = Position{LatDeg: -33.8688, LonDeg: 151.2093}
+	Townsville = Position{LatDeg: -19.2590, LonDeg: 146.8169}
+	Melbourne  = Position{LatDeg: -37.8136, LonDeg: 144.9631}
+	Adelaide   = Position{LatDeg: -34.9285, LonDeg: 138.6007}
+	Hobart     = Position{LatDeg: -42.8821, LonDeg: 147.3272}
+	Perth      = Position{LatDeg: -31.9523, LonDeg: 115.8613}
+	Singapore  = Position{LatDeg: 1.3521, LonDeg: 103.8198}
+	Auckland   = Position{LatDeg: -36.8509, LonDeg: 174.7645}
+)
+
+// InternetHost is one row of the paper's Table III: a host probed from an
+// ADSL2 connection in Brisbane, with the physical distance from the Google
+// Maps distance calculator and the measured traceroute latency.
+type InternetHost struct {
+	URL        string
+	Location   string
+	Position   Position
+	DistanceKm float64
+	PaperRTT   time.Duration
+}
+
+// TableIIIHosts reproduces the paper's Table III (Internet latency within
+// Australia) verbatim; these are the reference values experiment E3
+// compares the simulated network against.
+func TableIIIHosts() []InternetHost {
+	return []InternetHost{
+		{URL: "uq.edu.au", Location: "Brisbane (AU)", Position: Brisbane, DistanceKm: 8, PaperRTT: 18 * time.Millisecond},
+		{URL: "qut.edu.au", Location: "Brisbane (AU)", Position: Brisbane, DistanceKm: 12, PaperRTT: 20 * time.Millisecond},
+		{URL: "une.edu.au", Location: "Armidale (AU)", Position: Armidale, DistanceKm: 350, PaperRTT: 26 * time.Millisecond},
+		{URL: "sydney.edu.au", Location: "Sydney (AU)", Position: Sydney, DistanceKm: 722, PaperRTT: 34 * time.Millisecond},
+		{URL: "jcu.edu.au", Location: "Townsville (AU)", Position: Townsville, DistanceKm: 1120, PaperRTT: 39 * time.Millisecond},
+		{URL: "mh.org.au", Location: "Melbourne (AU)", Position: Melbourne, DistanceKm: 1363, PaperRTT: 42 * time.Millisecond},
+		{URL: "rah.sa.gov.au", Location: "Adelaide (AU)", Position: Adelaide, DistanceKm: 1592, PaperRTT: 54 * time.Millisecond},
+		{URL: "utas.edu.au", Location: "Hobart (AU)", Position: Hobart, DistanceKm: 1785, PaperRTT: 64 * time.Millisecond},
+		{URL: "uwa.edu.au", Location: "Perth (AU)", Position: Perth, DistanceKm: 3605, PaperRTT: 82 * time.Millisecond},
+	}
+}
+
+// LANHost is one row of the paper's Table II: a workstation inside the QUT
+// network pinged from another workstation, all under 1 ms.
+type LANHost struct {
+	Machine    int
+	Location   string
+	DistanceKm float64
+}
+
+// TableIIHosts reproduces the machine list of the paper's Table II (LAN
+// latency within QUT). The paper reports every latency as "< 1 ms"; the
+// reference predicate is therefore RTT < 1 ms for each row.
+func TableIIHosts() []LANHost {
+	return []LANHost{
+		{Machine: 1, Location: "Same level", DistanceKm: 0},
+		{Machine: 2, Location: "Same level", DistanceKm: 0.01},
+		{Machine: 3, Location: "Same level", DistanceKm: 0.02},
+		{Machine: 4, Location: "Same Campus", DistanceKm: 0.5},
+		{Machine: 5, Location: "Other Campus", DistanceKm: 3.2},
+		{Machine: 6, Location: "Same Campus", DistanceKm: 0.5},
+		{Machine: 7, Location: "Other Campus", DistanceKm: 3.2},
+		{Machine: 8, Location: "Other Campus", DistanceKm: 45},
+		{Machine: 9, Location: "Other Campus", DistanceKm: 3.2},
+		{Machine: 10, Location: "Other Campus", DistanceKm: 3.2},
+	}
+}

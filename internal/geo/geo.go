@@ -1,0 +1,84 @@
+// Package geo models the geographic quantities GeoProof reasons about:
+// positions, great-circle distances and the propagation speeds that convert
+// round-trip times into distance bounds.
+//
+// The constants follow the paper: radio waves travel at the speed of light
+// (§III-A, "300 km/ms"), light in optic fibre at 2/3 c (§V-E, citing
+// Percacci, Wong and Katz-Bassett), and Internet paths at an effective 4/9 c
+// (§V-F, citing Katz-Bassett et al.).
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Propagation speeds in km per millisecond.
+const (
+	// SpeedLightKmPerMs is c, used by RF distance-bounding protocols.
+	SpeedLightKmPerMs = 300.0
+	// SpeedFiberKmPerMs is 2/3 c: light in optic fibre (LAN links).
+	SpeedFiberKmPerMs = 200.0
+	// SpeedInternetKmPerMs is the paper's 4/9 c effective end-to-end
+	// Internet speed.
+	SpeedInternetKmPerMs = 4.0 / 9.0 * SpeedLightKmPerMs
+)
+
+// EarthRadiusKm is the mean Earth radius used by haversine distances.
+const EarthRadiusKm = 6371.0
+
+// Position is a geographic coordinate in decimal degrees.
+type Position struct {
+	LatDeg float64 `json:"latDeg"`
+	LonDeg float64 `json:"lonDeg"`
+}
+
+// String renders the position as "lat,lon" with four decimals (~11 m).
+func (p Position) String() string {
+	return fmt.Sprintf("%.4f,%.4f", p.LatDeg, p.LonDeg)
+}
+
+// DistanceKm returns the great-circle (haversine) distance to q in km.
+func (p Position) DistanceKm(q Position) float64 {
+	lat1 := p.LatDeg * math.Pi / 180
+	lat2 := q.LatDeg * math.Pi / 180
+	dLat := (q.LatDeg - p.LatDeg) * math.Pi / 180
+	dLon := (q.LonDeg - p.LonDeg) * math.Pi / 180
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// OneWayTime converts a distance to a one-way propagation delay at the
+// given speed (km/ms).
+func OneWayTime(distKm, speedKmPerMs float64) time.Duration {
+	if distKm <= 0 || speedKmPerMs <= 0 {
+		return 0
+	}
+	return time.Duration(distKm / speedKmPerMs * float64(time.Millisecond))
+}
+
+// RoundTripTime converts a distance to a round-trip propagation delay.
+func RoundTripTime(distKm, speedKmPerMs float64) time.Duration {
+	return 2 * OneWayTime(distKm, speedKmPerMs)
+}
+
+// MaxDistanceKm inverts the timing relation: given a round-trip budget and
+// a propagation speed it returns the maximum one-way distance, i.e. the
+// paper's "divide by 2 as it is RTT" rule (§III-A). Non-positive budgets
+// give zero.
+func MaxDistanceKm(rtt time.Duration, speedKmPerMs float64) float64 {
+	if rtt <= 0 || speedKmPerMs <= 0 {
+		return 0
+	}
+	ms := float64(rtt) / float64(time.Millisecond)
+	return ms * speedKmPerMs / 2
+}
+
+// TimingErrorDistanceKm returns the distance uncertainty induced by a
+// timing error at the given speed: err·speed/2. At RF speeds a 1 ms error
+// corresponds to 150 km, the paper's headline sensitivity number.
+func TimingErrorDistanceKm(err time.Duration, speedKmPerMs float64) float64 {
+	return MaxDistanceKm(err, speedKmPerMs)
+}

@@ -1,0 +1,153 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSpeedConstants(t *testing.T) {
+	if SpeedLightKmPerMs != 300 {
+		t.Fatalf("c = %v km/ms, want 300 (paper §III-A)", SpeedLightKmPerMs)
+	}
+	if SpeedFiberKmPerMs != 200 {
+		t.Fatalf("fiber = %v km/ms, want 200 = 2/3 c (paper §V-E)", SpeedFiberKmPerMs)
+	}
+	want := 4.0 / 9.0 * 300
+	if math.Abs(SpeedInternetKmPerMs-want) > 1e-9 {
+		t.Fatalf("internet = %v km/ms, want %v = 4/9 c (paper §V-F)", SpeedInternetKmPerMs, want)
+	}
+}
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// Reference great-circle distances (city centres, ±3%).
+	tests := []struct {
+		a, b   Position
+		wantKm float64
+	}{
+		{Brisbane, Sydney, 733},
+		{Brisbane, Perth, 3605},
+		{Brisbane, Melbourne, 1374},
+		{Brisbane, Brisbane, 0},
+	}
+	for _, tt := range tests {
+		got := tt.a.DistanceKm(tt.b)
+		if tt.wantKm == 0 {
+			if got != 0 {
+				t.Errorf("distance to self = %v", got)
+			}
+			continue
+		}
+		if math.Abs(got-tt.wantKm)/tt.wantKm > 0.03 {
+			t.Errorf("distance %v-%v = %.0f km, want ≈%.0f", tt.a, tt.b, got, tt.wantKm)
+		}
+	}
+}
+
+func TestHaversineSymmetryProperty(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p := Position{LatDeg: math.Mod(lat1, 90), LonDeg: math.Mod(lon1, 180)}
+		q := Position{LatDeg: math.Mod(lat2, 90), LonDeg: math.Mod(lon2, 180)}
+		d1, d2 := p.DistanceKm(q), q.DistanceKm(p)
+		return math.Abs(d1-d2) < 1e-6 && d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneWayAndRoundTripTime(t *testing.T) {
+	// 200 km at fiber speed (200 km/ms) is 1 ms one-way, 2 ms RTT —
+	// the paper's §V-E example.
+	ow := OneWayTime(200, SpeedFiberKmPerMs)
+	if ow != time.Millisecond {
+		t.Fatalf("one-way = %v, want 1ms", ow)
+	}
+	if rt := RoundTripTime(200, SpeedFiberKmPerMs); rt != 2*time.Millisecond {
+		t.Fatalf("RTT = %v, want 2ms", rt)
+	}
+	if OneWayTime(-5, SpeedFiberKmPerMs) != 0 || OneWayTime(5, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestMaxDistanceInternet3ms(t *testing.T) {
+	// §V-F: in 3 ms RTT a packet covers 400 km of Internet path, i.e.
+	// 200 km one-way.
+	got := MaxDistanceKm(3*time.Millisecond, SpeedInternetKmPerMs)
+	if math.Abs(got-200) > 0.5 {
+		t.Fatalf("3ms Internet budget = %.1f km, want 200", got)
+	}
+}
+
+func TestTimingErrorDistance(t *testing.T) {
+	// §III-A: a 1 ms timing error at RF speed is 150 km of distance
+	// error.
+	got := TimingErrorDistanceKm(time.Millisecond, SpeedLightKmPerMs)
+	if math.Abs(got-150) > 1e-6 {
+		t.Fatalf("1ms at c = %.1f km, want 150", got)
+	}
+}
+
+func TestMaxDistanceInvertsRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		dist := float64(raw%5000) + 1
+		rtt := RoundTripTime(dist, SpeedInternetKmPerMs)
+		back := MaxDistanceKm(rtt, SpeedInternetKmPerMs)
+		return math.Abs(back-dist) < 0.05*dist+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableIIIHosts(t *testing.T) {
+	hosts := TableIIIHosts()
+	if len(hosts) != 9 {
+		t.Fatalf("Table III has %d rows, want 9", len(hosts))
+	}
+	// Distances and latencies must be strictly positive and jointly
+	// increasing overall (the paper's "positive relationship").
+	for i, h := range hosts {
+		if h.DistanceKm <= 0 || h.PaperRTT <= 0 {
+			t.Errorf("row %d: non-positive distance or RTT", i)
+		}
+		if i > 0 && h.DistanceKm < hosts[i-1].DistanceKm {
+			t.Errorf("row %d: distances not sorted ascending", i)
+		}
+		if i > 0 && h.PaperRTT < hosts[i-1].PaperRTT {
+			t.Errorf("row %d: paper latencies not monotonic", i)
+		}
+	}
+	// Haversine distance from Brisbane must roughly agree with the
+	// paper's Google-Maps distances for the far hosts.
+	for _, h := range hosts {
+		if h.DistanceKm < 100 {
+			continue // same-city rows measure street distance
+		}
+		hav := Brisbane.DistanceKm(h.Position)
+		if math.Abs(hav-h.DistanceKm)/h.DistanceKm > 0.15 {
+			t.Errorf("%s: haversine %.0f vs paper %.0f km", h.URL, hav, h.DistanceKm)
+		}
+	}
+}
+
+func TestTableIIHosts(t *testing.T) {
+	hosts := TableIIHosts()
+	if len(hosts) != 10 {
+		t.Fatalf("Table II has %d rows, want 10", len(hosts))
+	}
+	for _, h := range hosts {
+		if h.DistanceKm < 0 || h.DistanceKm > 45 {
+			t.Errorf("machine %d: distance %.2f outside Table II range", h.Machine, h.DistanceKm)
+		}
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	got := Position{LatDeg: -27.4698, LonDeg: 153.0251}.String()
+	if got != "-27.4698,153.0251" {
+		t.Fatalf("String() = %q", got)
+	}
+}

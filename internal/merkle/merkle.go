@@ -1,0 +1,195 @@
+// Package merkle implements the binary Merkle hash tree that backs the
+// dynamic proof-of-retrievability extension (paper §IV: GeoProof "could
+// be modified to encompass other POS schemes that support verifying
+// dynamic data such as [Wang et al.'s DPOR]", which authenticates blocks
+// with a Merkle tree instead of embedded MACs).
+//
+// The tree hashes leaves with a domain-separated SHA-256 (leaf vs node
+// prefixes prevent second-preimage splices). Odd nodes are promoted to
+// the next level unchanged, so trees of any size are well-defined.
+// Update and Append are O(log n); proofs carry the sibling path plus
+// left/right orientation bits.
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Errors reported by tree operations.
+var (
+	ErrEmpty       = errors.New("merkle: tree has no leaves")
+	ErrOutOfRange  = errors.New("merkle: leaf index out of range")
+	ErrProofFailed = errors.New("merkle: proof verification failed")
+)
+
+// Hash is a node digest.
+type Hash = [32]byte
+
+// LeafHash hashes leaf content with the leaf domain prefix.
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(data)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Tree is a mutable Merkle tree. It is not safe for concurrent use.
+type Tree struct {
+	// levels[0] is the leaf level; levels[len-1] has exactly one node.
+	levels [][]Hash
+}
+
+// New builds a tree over the given leaf contents.
+func New(leaves [][]byte) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmpty
+	}
+	level := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = LeafHash(l)
+	}
+	t := &Tree{levels: [][]Hash{level}}
+	t.rebuildFrom(0)
+	return t, nil
+}
+
+// rebuildFrom recomputes all levels above the given one.
+func (t *Tree) rebuildFrom(level int) {
+	t.levels = t.levels[:level+1]
+	for len(t.levels[len(t.levels)-1]) > 1 {
+		cur := t.levels[len(t.levels)-1]
+		next := make([]Hash, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				next = append(next, nodeHash(cur[i], cur[i+1]))
+			} else {
+				next = append(next, cur[i]) // promote odd node
+			}
+		}
+		t.levels = append(t.levels, next)
+	}
+}
+
+// Len returns the number of leaves.
+func (t *Tree) Len() int { return len(t.levels[0]) }
+
+// Root returns the current root hash.
+func (t *Tree) Root() Hash { return t.levels[len(t.levels)-1][0] }
+
+// ProofStep is one sibling on the path to the root.
+type ProofStep struct {
+	Sibling Hash
+	// Left reports that the sibling sits to the left of the running
+	// hash.
+	Left bool
+}
+
+// Proof authenticates one leaf against a root.
+type Proof struct {
+	Index int
+	Steps []ProofStep
+}
+
+// Prove returns the authentication path for leaf i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= t.Len() {
+		return Proof{}, fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, t.Len())
+	}
+	p := Proof{Index: i}
+	idx := i
+	for level := 0; level < len(t.levels)-1; level++ {
+		cur := t.levels[level]
+		var sib int
+		if idx%2 == 0 {
+			sib = idx + 1
+		} else {
+			sib = idx - 1
+		}
+		if sib < len(cur) {
+			p.Steps = append(p.Steps, ProofStep{Sibling: cur[sib], Left: sib < idx})
+		}
+		// Promoted odd nodes contribute no step.
+		idx /= 2
+	}
+	return p, nil
+}
+
+// Verify checks that leafData at the proof's index hashes up to root.
+func Verify(root Hash, leafData []byte, p Proof) error {
+	h := LeafHash(leafData)
+	for _, s := range p.Steps {
+		if s.Left {
+			h = nodeHash(s.Sibling, h)
+		} else {
+			h = nodeHash(h, s.Sibling)
+		}
+	}
+	if h != root {
+		return ErrProofFailed
+	}
+	return nil
+}
+
+// RootAfterUpdate computes the root that would result from replacing the
+// proven leaf with newData, without touching a tree — this is how a
+// stateless client derives its next root from a verified proof.
+func RootAfterUpdate(newData []byte, p Proof) Hash {
+	h := LeafHash(newData)
+	for _, s := range p.Steps {
+		if s.Left {
+			h = nodeHash(s.Sibling, h)
+		} else {
+			h = nodeHash(h, s.Sibling)
+		}
+	}
+	return h
+}
+
+// Update replaces leaf i and recomputes the path to the root in
+// O(log n).
+func (t *Tree) Update(i int, newData []byte) error {
+	if i < 0 || i >= t.Len() {
+		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, i, t.Len())
+	}
+	t.levels[0][i] = LeafHash(newData)
+	idx := i
+	for level := 0; level < len(t.levels)-1; level++ {
+		cur := t.levels[level]
+		parent := idx / 2
+		l := cur[parent*2]
+		if parent*2+1 < len(cur) {
+			t.levels[level+1][parent] = nodeHash(l, cur[parent*2+1])
+		} else {
+			t.levels[level+1][parent] = l
+		}
+		idx = parent
+	}
+	return nil
+}
+
+// Append adds a leaf at the end. For simplicity it rebuilds the levels
+// above the leaves; leaf-level work is O(1) and rebuilds are O(n) hashes,
+// acceptable for the simulation-scale dynamic workloads this backs.
+func (t *Tree) Append(data []byte) {
+	t.levels[0] = append(t.levels[0], LeafHash(data))
+	t.rebuildFrom(0)
+}
+
+// Equal reports whether two hashes match (constant-time not required:
+// roots are public).
+func Equal(a, b Hash) bool { return bytes.Equal(a[:], b[:]) }

@@ -1,0 +1,57 @@
+package merkle
+
+// Peaks support the stateless-client append flow: the level-pairing tree
+// with odd-node promotion decomposes into perfect subtrees ("peaks")
+// whose sizes are the binary digits of the leaf count, and the root is
+// the right-to-left fold of the peak roots. A client holding only the
+// root can therefore verify server-supplied peaks against it, carry-merge
+// in a new leaf, and predict the post-append root in O(log n).
+
+// Peak is one perfect subtree of the decomposition.
+type Peak struct {
+	Hash   Hash
+	Leaves int // power of two
+}
+
+// Peaks returns the current peak decomposition, left to right.
+func (t *Tree) Peaks() []Peak {
+	var stack []Peak
+	for _, h := range t.levels[0] {
+		stack = append(stack, Peak{Hash: h, Leaves: 1})
+		for len(stack) >= 2 && stack[len(stack)-1].Leaves == stack[len(stack)-2].Leaves {
+			r := stack[len(stack)-1]
+			l := stack[len(stack)-2]
+			stack = stack[:len(stack)-2]
+			stack = append(stack, Peak{Hash: nodeHash(l.Hash, r.Hash), Leaves: l.Leaves * 2})
+		}
+	}
+	return stack
+}
+
+// FoldPeaks combines peak roots right-to-left into the tree root.
+// Folding no peaks returns the zero hash.
+func FoldPeaks(peaks []Peak) Hash {
+	if len(peaks) == 0 {
+		return Hash{}
+	}
+	acc := peaks[len(peaks)-1].Hash
+	for i := len(peaks) - 2; i >= 0; i-- {
+		acc = nodeHash(peaks[i].Hash, acc)
+	}
+	return acc
+}
+
+// AppendPeaks carry-merges a new leaf into the decomposition, returning
+// the peaks of the grown tree.
+func AppendPeaks(peaks []Peak, newLeaf []byte) []Peak {
+	out := make([]Peak, len(peaks), len(peaks)+1)
+	copy(out, peaks)
+	out = append(out, Peak{Hash: LeafHash(newLeaf), Leaves: 1})
+	for len(out) >= 2 && out[len(out)-1].Leaves == out[len(out)-2].Leaves {
+		r := out[len(out)-1]
+		l := out[len(out)-2]
+		out = out[:len(out)-2]
+		out = append(out, Peak{Hash: nodeHash(l.Hash, r.Hash), Leaves: l.Leaves * 2})
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFoldPeaksMatchesRoot(t *testing.T) {
+	for n := 1; n <= 130; n++ {
+		tr, err := New(leaves(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peaks := tr.Peaks()
+		if got := FoldPeaks(peaks); !Equal(got, tr.Root()) {
+			t.Fatalf("n=%d: folded peaks differ from root", n)
+		}
+		// Peak sizes are strictly decreasing powers of two summing to n.
+		sum := 0
+		prev := 1 << 30
+		for _, p := range peaks {
+			if p.Leaves&(p.Leaves-1) != 0 || p.Leaves >= prev {
+				t.Fatalf("n=%d: bad peak sizes %v", n, peaks)
+			}
+			prev = p.Leaves
+			sum += p.Leaves
+		}
+		if sum != n {
+			t.Fatalf("n=%d: peak sizes sum to %d", n, sum)
+		}
+	}
+}
+
+func TestAppendPeaksPredictsAppendedRoot(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		tr, _ := New(leaves(n))
+		peaks := tr.Peaks()
+		newLeaf := []byte(fmt.Sprintf("leaf-%d", n))
+		predicted := FoldPeaks(AppendPeaks(peaks, newLeaf))
+		tr.Append(newLeaf)
+		if !Equal(predicted, tr.Root()) {
+			t.Fatalf("n=%d: predicted append root diverges", n)
+		}
+	}
+}
+
+func TestFoldPeaksEmpty(t *testing.T) {
+	if got := FoldPeaks(nil); got != (Hash{}) {
+		t.Fatal("empty fold should be zero hash")
+	}
+}
+
+func TestAppendPeaksDoesNotMutateInput(t *testing.T) {
+	tr, _ := New(leaves(5))
+	peaks := tr.Peaks()
+	before := make([]Peak, len(peaks))
+	copy(before, peaks)
+	_ = AppendPeaks(peaks, []byte("x"))
+	for i := range before {
+		if before[i] != peaks[i] {
+			t.Fatal("AppendPeaks mutated its input")
+		}
+	}
+}

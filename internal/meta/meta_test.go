@@ -1,0 +1,99 @@
+package meta
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blockfile"
+)
+
+func sample() Meta {
+	return Meta{
+		FileID:       "file-1",
+		OrigBytes:    12345,
+		Params:       blockfile.DefaultParams(),
+		MasterKeyHex: "00112233445566778899aabbccddeeff",
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := Save(path, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sample() {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Sidecar must not be world-readable (it holds the master key).
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("sidecar mode %v, want 0600", info.Mode().Perm())
+	}
+}
+
+func TestLayoutAndKey(t *testing.T) {
+	m := sample()
+	layout, err := m.Layout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.OrigBytes != 12345 {
+		t.Fatalf("layout size %d", layout.OrigBytes)
+	}
+	key, err := m.MasterKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(key) != 16 {
+		t.Fatalf("key length %d", len(key))
+	}
+}
+
+func TestMasterKeyErrors(t *testing.T) {
+	m := sample()
+	m.MasterKeyHex = "zz"
+	if _, err := m.MasterKey(); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	m.MasterKeyHex = ""
+	if _, err := m.MasterKey(); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+	// Valid JSON, invalid params.
+	noid := filepath.Join(dir, "noid.json")
+	if err := os.WriteFile(noid, []byte(`{"fileId":"","origBytes":1,"params":{"BlockSize":16,"ChunkData":223,"ChunkTotal":255,"SegmentBlocks":5,"TagBits":20},"masterKeyHex":"00"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(noid); err == nil {
+		t.Fatal("empty file id accepted")
+	}
+	badParams := filepath.Join(dir, "badparams.json")
+	if err := os.WriteFile(badParams, []byte(`{"fileId":"f","origBytes":1,"params":{"BlockSize":0},"masterKeyHex":"00"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badParams); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package por
+
+import (
+	"repro/internal/blockfile"
+	"repro/internal/stats"
+)
+
+// DetectionProbability returns the probability that a k-segment challenge
+// detects an adversary who corrupted corruptFraction of the segments:
+// 1-(1-f)^k. With the paper's example (f = 0.125%, k = 1000) this is
+// ≈71.3% per challenge (§V-C a).
+func DetectionProbability(corruptFraction float64, k int) float64 {
+	return stats.DetectionProbability(corruptFraction, k)
+}
+
+// ChallengesForConfidence returns the smallest number of consecutive
+// challenges (k segments each) needed to push cumulative detection above
+// the target probability. Detection is cumulative across audits (§V-C a).
+func ChallengesForConfidence(corruptFraction float64, k int, target float64) int {
+	if target <= 0 {
+		return 0
+	}
+	if corruptFraction <= 0 || k <= 0 || target >= 1 {
+		return -1 // unreachable
+	}
+	per := DetectionProbability(corruptFraction, k)
+	if per <= 0 {
+		return -1
+	}
+	miss := 1.0
+	for i := 1; i <= 1_000_000; i++ {
+		miss *= 1 - per
+		if 1-miss >= target {
+			return i
+		}
+	}
+	return -1
+}
+
+// IrretrievabilityBound bounds the probability that corrupting a fraction
+// of blocks uniformly at random destroys the file despite error
+// correction. A chunk is lost when more than t = (n-k)/2 of its n blocks
+// are corrupted (blind decoding; erasure hints double the budget). The
+// bound is the union bound numChunks · P[Bin(n, f) > t].
+//
+// For the paper's example — 2 GB file, 0.5% block corruption — this is far
+// below the quoted "less than 1 in 200,000" (§V-C a), confirming the
+// paper's claim is conservative.
+func IrretrievabilityBound(layout blockfile.Layout, blockCorruptFraction float64) float64 {
+	t := (layout.ChunkTotal - layout.ChunkData) / 2
+	perChunk := stats.BinomTail(layout.ChunkTotal, t+1, blockCorruptFraction)
+	b := perChunk * float64(layout.Chunks)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// PaperExampleLayout returns the layout of the paper's §V-B worked
+// example: a 2 GB file under default parameters.
+func PaperExampleLayout() (blockfile.Layout, error) {
+	return blockfile.NewLayout(blockfile.DefaultParams(), 2<<30)
+}

@@ -1,0 +1,238 @@
+// Package por implements the proof-of-storage component of GeoProof: the
+// MAC-based variant of the Juels-Kaliski proof of retrievability [19]
+// selected by the paper (§IV, §V-A).
+//
+// Setup pipeline (§V-A):
+//  1. split the file F into 128-bit blocks,
+//  2. apply the (255,223,32) Reed-Solomon code per 255-block chunk → F′,
+//  3. encrypt with a symmetric cipher → F″,
+//  4. reorder blocks with a pseudorandom permutation → F‴,
+//  5. group v=5 blocks per segment and embed a truncated MAC per segment
+//     → F̃, which is what the cloud stores.
+//
+// The verifier challenges random segment indices; the prover returns
+// segment‖tag; anyone holding the MAC key verifies
+// τ_i = MAC_K′(S_i, i, fid). Recovery (Extract) inverts the pipeline and
+// uses the MAC verdicts as erasure hints for the Reed-Solomon decoder.
+package por
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blockfile"
+	"repro/internal/crypt"
+	"repro/internal/prp"
+	"repro/internal/reedsolomon"
+)
+
+// Errors reported by the POR layer.
+var (
+	ErrTagMismatch   = errors.New("por: segment tag mismatch")
+	ErrBadSegment    = errors.New("por: segment index out of range")
+	ErrUnrecoverable = errors.New("por: file unrecoverable")
+	ErrBadEncoding   = errors.New("por: malformed encoded file")
+)
+
+// EncodedFile is the client-side description of one prepared file: the
+// encoded bytes F̃ handed to the cloud plus the layout needed to audit and
+// extract it. The keys are NOT stored here; they are re-derived from the
+// client's master secret.
+type EncodedFile struct {
+	FileID string
+	Layout blockfile.Layout
+	Data   []byte // F̃: segments with embedded tags
+}
+
+// Encoder prepares and recovers files under one client master key.
+type Encoder struct {
+	master []byte
+	params blockfile.Params
+}
+
+// NewEncoder creates an encoder with the paper's default parameters; use
+// WithParams to override.
+func NewEncoder(master []byte) *Encoder {
+	m := make([]byte, len(master))
+	copy(m, master)
+	return &Encoder{master: m, params: blockfile.DefaultParams()}
+}
+
+// WithParams returns a copy of the encoder using custom layout parameters.
+func (e *Encoder) WithParams(p blockfile.Params) *Encoder {
+	return &Encoder{master: e.master, params: p}
+}
+
+// Params returns the layout parameters in use.
+func (e *Encoder) Params() blockfile.Params { return e.params }
+
+func (e *Encoder) pipeline(fileID string, layout blockfile.Layout) (crypt.KeySet, *reedsolomon.BlockCode, *crypt.Tagger, prp.Permutation, error) {
+	keys := crypt.DeriveKeys(e.master, fileID)
+	code, err := reedsolomon.New(layout.ChunkTotal, layout.ChunkData)
+	if err != nil {
+		return keys, nil, nil, nil, err
+	}
+	bc, err := reedsolomon.NewBlockCode(code, layout.BlockSize)
+	if err != nil {
+		return keys, nil, nil, nil, err
+	}
+	tagger, err := crypt.NewTagger(keys.MAC, layout.TagBits)
+	if err != nil {
+		return keys, nil, nil, nil, err
+	}
+	perm, err := prp.NewFeistel(keys.PRP, uint64(layout.TotalBlocks), 8)
+	if err != nil {
+		return keys, nil, nil, nil, err
+	}
+	return keys, bc, tagger, perm, nil
+}
+
+// Encode runs the full setup phase over file and returns the encoded file
+// ready to upload.
+func (e *Encoder) Encode(fileID string, file []byte) (*EncodedFile, error) {
+	layout, err := blockfile.NewLayout(e.params, int64(len(file)))
+	if err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	keys, bc, tagger, perm, err := e.pipeline(fileID, layout)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	bs := layout.BlockSize
+
+	// Steps 1-2: pad to chunk boundary and error-correct each chunk.
+	padded := layout.Pad(file)
+	ecc := make([]byte, layout.TotalBlocks*int64(bs)) // includes segment padding blocks
+	chunkIn := layout.ChunkData * bs
+	chunkOut := layout.ChunkTotal * bs
+	for c := int64(0); c < layout.Chunks; c++ {
+		enc, err := bc.EncodeChunk(padded[c*int64(chunkIn) : (c+1)*int64(chunkIn)])
+		if err != nil {
+			return nil, fmt.Errorf("ecc chunk %d: %w", c, err)
+		}
+		copy(ecc[c*int64(chunkOut):], enc)
+	}
+
+	// Step 3: encrypt F′ → F″ (CTR keystream over the whole buffer,
+	// including the zero segment-padding blocks so nothing leaks).
+	if err := crypt.EncryptCTR(keys.Enc, fileID, ecc); err != nil {
+		return nil, fmt.Errorf("encrypt: %w", err)
+	}
+
+	// Step 4: permute blocks F″ → F‴.
+	permuted := make([]byte, len(ecc))
+	for b := int64(0); b < layout.TotalBlocks; b++ {
+		dst := int64(perm.Index(uint64(b)))
+		copy(permuted[dst*int64(bs):(dst+1)*int64(bs)], ecc[b*int64(bs):(b+1)*int64(bs)])
+	}
+
+	// Step 5: segment and embed tags F‴ → F̃.
+	segSize := layout.SegmentSize()
+	segBytes := layout.SegmentBlocks * bs
+	out := make([]byte, layout.Segments*int64(segSize))
+	for s := int64(0); s < layout.Segments; s++ {
+		seg := permuted[s*int64(segBytes) : (s+1)*int64(segBytes)]
+		off := s * int64(segSize)
+		copy(out[off:], seg)
+		tag := tagger.Tag(seg, uint64(s), fileID)
+		copy(out[off+int64(segBytes):], tag)
+	}
+	return &EncodedFile{FileID: fileID, Layout: layout, Data: out}, nil
+}
+
+// VerifySegment checks the embedded tag of raw segment bytes (segment
+// payload followed by tag) against index i. It is the TPA-side check
+// applied to every audited segment.
+func (e *Encoder) VerifySegment(fileID string, layout blockfile.Layout, i int64, segWithTag []byte) error {
+	if i < 0 || i >= layout.Segments {
+		return fmt.Errorf("%w: %d of %d", ErrBadSegment, i, layout.Segments)
+	}
+	if len(segWithTag) != layout.SegmentSize() {
+		return fmt.Errorf("%w: segment is %d bytes, want %d", ErrBadEncoding, len(segWithTag), layout.SegmentSize())
+	}
+	keys := crypt.DeriveKeys(e.master, fileID)
+	tagger, err := crypt.NewTagger(keys.MAC, layout.TagBits)
+	if err != nil {
+		return err
+	}
+	segBytes := layout.SegmentBlocks * layout.BlockSize
+	if !tagger.VerifyTag(segWithTag[:segBytes], uint64(i), fileID, segWithTag[segBytes:]) {
+		return ErrTagMismatch
+	}
+	return nil
+}
+
+// Extract recovers the original file from (possibly damaged) encoded
+// bytes. Segments whose tags fail verification are treated as suspect and
+// their blocks become Reed-Solomon erasures, which doubles the correction
+// budget compared to blind error decoding.
+func (e *Encoder) Extract(fileID string, layout blockfile.Layout, data []byte) ([]byte, error) {
+	if int64(len(data)) != layout.EncodedBytes {
+		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadEncoding, len(data), layout.EncodedBytes)
+	}
+	keys, bc, tagger, perm, err := e.pipeline(fileID, layout)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	bs := layout.BlockSize
+	segSize := layout.SegmentSize()
+	segBytes := layout.SegmentBlocks * bs
+
+	// Strip tags, remembering which segments are suspect.
+	permuted := make([]byte, layout.TotalBlocks*int64(bs))
+	suspectSeg := make([]bool, layout.Segments)
+	for s := int64(0); s < layout.Segments; s++ {
+		off := s * int64(segSize)
+		seg := data[off : off+int64(segBytes)]
+		tag := data[off+int64(segBytes) : off+int64(segSize)]
+		if !tagger.VerifyTag(seg, uint64(s), fileID, tag) {
+			suspectSeg[s] = true
+		}
+		copy(permuted[s*int64(segBytes):], seg)
+	}
+
+	// Un-permute F‴ → F″ and propagate suspicion to block granularity.
+	ecc := make([]byte, len(permuted))
+	suspectBlock := make([]bool, layout.TotalBlocks)
+	for b := int64(0); b < layout.TotalBlocks; b++ {
+		src := int64(perm.Index(uint64(b))) // block b was stored at position src
+		copy(ecc[b*int64(bs):(b+1)*int64(bs)], permuted[src*int64(bs):(src+1)*int64(bs)])
+		if suspectSeg[src/int64(layout.SegmentBlocks)] {
+			suspectBlock[b] = true
+		}
+	}
+
+	// Decrypt F″ → F′.
+	if err := crypt.EncryptCTR(keys.Enc, fileID, ecc); err != nil {
+		return nil, fmt.Errorf("decrypt: %w", err)
+	}
+
+	// Error-correct each chunk, with suspect blocks as erasures. When a
+	// chunk has more erasures than the code can absorb, fall back to
+	// blind error decoding, which may still succeed if tags were
+	// damaged but payloads intact.
+	plain := make([]byte, layout.PaddedBlocks*int64(bs))
+	chunkIn := layout.ChunkData * bs
+	chunkOut := layout.ChunkTotal * bs
+	for c := int64(0); c < layout.Chunks; c++ {
+		chunk := ecc[c*int64(chunkOut) : (c+1)*int64(chunkOut)]
+		var erasures []int
+		for b := 0; b < layout.ChunkTotal; b++ {
+			if suspectBlock[c*int64(layout.ChunkTotal)+int64(b)] {
+				erasures = append(erasures, b)
+			}
+		}
+		if len(erasures) > layout.ChunkTotal-layout.ChunkData {
+			erasures = nil // beyond erasure budget; try blind decode
+		}
+		dec, err := bc.DecodeChunk(chunk, erasures)
+		if err != nil && erasures != nil {
+			dec, err = bc.DecodeChunk(chunk, nil)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chunk %d: %w: %v", c, ErrUnrecoverable, err)
+		}
+		copy(plain[c*int64(chunkIn):], dec)
+	}
+	return layout.Unpad(plain)
+}

@@ -1,0 +1,299 @@
+package por
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blockfile"
+)
+
+// smallParams keeps unit tests fast: RS(15,11), 4-byte blocks, 2-block
+// segments.
+func smallParams() blockfile.Params {
+	return blockfile.Params{
+		BlockSize:     4,
+		ChunkData:     11,
+		ChunkTotal:    15,
+		SegmentBlocks: 2,
+		TagBits:       32,
+	}
+}
+
+func newTestEncoder() *Encoder {
+	return NewEncoder([]byte("test-master-secret")).WithParams(smallParams())
+}
+
+func testFile(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestEncodeShape(t *testing.T) {
+	e := newTestEncoder()
+	file := testFile(1, 500)
+	enc, err := e.Encode("f1", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(enc.Data)) != enc.Layout.EncodedBytes {
+		t.Fatalf("encoded %d bytes, layout says %d", len(enc.Data), enc.Layout.EncodedBytes)
+	}
+	if enc.FileID != "f1" {
+		t.Fatalf("file id %q", enc.FileID)
+	}
+}
+
+func TestEncodeHidesPlaintext(t *testing.T) {
+	e := newTestEncoder()
+	file := bytes.Repeat([]byte("SECRETDATA"), 50)
+	enc, err := e.Encode("f1", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(enc.Data, []byte("SECRETDATA")) {
+		t.Fatal("plaintext visible in encoded file")
+	}
+}
+
+func TestExtractCleanRoundTrip(t *testing.T) {
+	e := newTestEncoder()
+	for _, n := range []int{0, 1, 43, 44, 500, 4096} {
+		file := testFile(int64(n), n)
+		enc, err := e.Encode("f", file)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got, err := e.Extract("f", enc.Layout, enc.Data)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, file) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestExtractRecoversFromCorruption(t *testing.T) {
+	e := newTestEncoder()
+	file := testFile(3, 2000)
+	enc, err := e.Encode("f", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one whole segment (payload and tag): the MAC flags it,
+	// its blocks become erasures, and RS recovers.
+	data := make([]byte, len(enc.Data))
+	copy(data, enc.Data)
+	rng := rand.New(rand.NewSource(9))
+	segSize := enc.Layout.SegmentSize()
+	rng.Read(data[2*segSize : 3*segSize])
+
+	got, err := e.Extract("f", enc.Layout, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, file) {
+		t.Fatal("extract failed to repair single-segment corruption")
+	}
+}
+
+func TestExtractRecoversScatteredCorruption(t *testing.T) {
+	e := newTestEncoder()
+	file := testFile(4, 5000)
+	enc, _ := e.Encode("f", file)
+	data := make([]byte, len(enc.Data))
+	copy(data, enc.Data)
+	rng := rand.New(rand.NewSource(10))
+	// Corrupt ~1.5% of segments at random.
+	nSeg := int(enc.Layout.Segments)
+	segSize := enc.Layout.SegmentSize()
+	for _, s := range rng.Perm(nSeg)[:nSeg/64+1] {
+		off := s * segSize
+		rng.Read(data[off : off+segSize])
+	}
+	got, err := e.Extract("f", enc.Layout, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, file) {
+		t.Fatal("extract failed under scattered corruption")
+	}
+}
+
+func TestExtractFailsWhenDestroyed(t *testing.T) {
+	e := newTestEncoder()
+	file := testFile(5, 2000)
+	enc, _ := e.Encode("f", file)
+	data := make([]byte, len(enc.Data))
+	copy(data, enc.Data)
+	rand.New(rand.NewSource(11)).Read(data) // trash everything
+	if _, err := e.Extract("f", enc.Layout, data); !errors.Is(err, ErrUnrecoverable) {
+		t.Fatalf("got %v, want ErrUnrecoverable", err)
+	}
+}
+
+func TestExtractWrongLength(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(6, 100))
+	if _, err := e.Extract("f", enc.Layout, enc.Data[:10]); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("got %v, want ErrBadEncoding", err)
+	}
+}
+
+func TestVerifySegment(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(7, 1000))
+	store := NewStore(enc)
+
+	seg, err := store.ReadSegment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.VerifySegment("f", enc.Layout, 0, seg); err != nil {
+		t.Fatalf("genuine segment rejected: %v", err)
+	}
+	// Wrong index.
+	if err := e.VerifySegment("f", enc.Layout, 1, seg); !errors.Is(err, ErrTagMismatch) {
+		t.Fatalf("wrong index: got %v", err)
+	}
+	// Tampered payload.
+	seg[0] ^= 0xFF
+	if err := e.VerifySegment("f", enc.Layout, 0, seg); !errors.Is(err, ErrTagMismatch) {
+		t.Fatalf("tampered: got %v", err)
+	}
+	// Out of range / wrong size.
+	if err := e.VerifySegment("f", enc.Layout, -1, seg); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("negative index: got %v", err)
+	}
+	if err := e.VerifySegment("f", enc.Layout, 0, seg[:5]); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("short segment: got %v", err)
+	}
+}
+
+func TestChallengeRespondVerify(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(8, 3000))
+	store := NewStore(enc)
+
+	ch, err := e.NewChallenge("f", enc.Layout, []byte("nonce-1"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Indices) != 10 {
+		t.Fatalf("challenge has %d indices", len(ch.Indices))
+	}
+	resp, err := store.Respond(ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.VerifyResponse(enc.Layout, ch, resp)
+	if err != nil || ok != 10 {
+		t.Fatalf("verify: ok=%d err=%v", ok, err)
+	}
+}
+
+func TestChallengeDeterministicPerNonce(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(12, 3000))
+	a, _ := e.NewChallenge("f", enc.Layout, []byte("n"), 5)
+	b, _ := e.NewChallenge("f", enc.Layout, []byte("n"), 5)
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatal("challenge not reproducible from nonce")
+		}
+	}
+}
+
+func TestVerifyResponseDetectsCorruption(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(13, 3000))
+	store := NewStore(enc)
+	ch, _ := e.NewChallenge("f", enc.Layout, []byte("n"), 8)
+	resp, _ := store.Respond(ch)
+	resp.Segments[3][1] ^= 0x01
+	ok, err := e.VerifyResponse(enc.Layout, ch, resp)
+	if ok != 7 {
+		t.Fatalf("ok=%d, want 7", ok)
+	}
+	if !errors.Is(err, ErrTagMismatch) {
+		t.Fatalf("got %v, want ErrTagMismatch", err)
+	}
+}
+
+func TestVerifyResponseShapeErrors(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(14, 1000))
+	store := NewStore(enc)
+	ch, _ := e.NewChallenge("f", enc.Layout, []byte("n"), 3)
+	resp, _ := store.Respond(ch)
+
+	bad := resp
+	bad.FileID = "other"
+	if _, err := e.VerifyResponse(enc.Layout, ch, bad); err == nil {
+		t.Error("mismatched file id accepted")
+	}
+	short := Response{FileID: "f", Segments: resp.Segments[:2]}
+	if _, err := e.VerifyResponse(enc.Layout, ch, short); !errors.Is(err, ErrBadEncoding) {
+		t.Errorf("short response: got %v", err)
+	}
+}
+
+func TestStoreRespondWrongFile(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(15, 1000))
+	store := NewStore(enc)
+	ch, _ := e.NewChallenge("f", enc.Layout, []byte("n"), 3)
+	ch.FileID = "other"
+	if _, err := store.Respond(ch); err == nil {
+		t.Fatal("wrong-file challenge accepted")
+	}
+}
+
+func TestStoreReadSegmentBounds(t *testing.T) {
+	e := newTestEncoder()
+	enc, _ := e.Encode("f", testFile(16, 1000))
+	store := NewStore(enc)
+	if _, err := store.ReadSegment(-1); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := store.ReadSegment(enc.Layout.Segments); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDifferentMastersCannotVerify(t *testing.T) {
+	e1 := newTestEncoder()
+	e2 := NewEncoder([]byte("another-master")).WithParams(smallParams())
+	enc, _ := e1.Encode("f", testFile(17, 1000))
+	store := NewStore(enc)
+	ch, _ := e2.NewChallenge("f", enc.Layout, []byte("n"), 4)
+	resp, _ := store.Respond(ch)
+	ok, err := e2.VerifyResponse(enc.Layout, ch, resp)
+	if ok != 0 || err == nil {
+		t.Fatalf("foreign master verified %d segments", ok)
+	}
+}
+
+func TestDefaultParamsEncodeSmallFile(t *testing.T) {
+	// Full paper parameters on a small file: 223·16 = 3568 bytes/chunk.
+	e := NewEncoder([]byte("m"))
+	file := testFile(18, 10000)
+	enc, err := e.Encode("big", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Extract("big", enc.Layout, enc.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, file) {
+		t.Fatal("default-params round trip mismatch")
+	}
+	if enc.Layout.SegmentSize() != 83 {
+		t.Fatalf("segment size %d, want 83", enc.Layout.SegmentSize())
+	}
+}

@@ -1,0 +1,222 @@
+package por
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// The sentinel construction is the original Juels-Kaliski POR flavour the
+// paper describes in §IV before adopting the MAC variant: random-looking
+// sentinel blocks are hidden among the encrypted file blocks; a challenge
+// reveals sentinel positions and the prover must return their exact
+// values. It is implemented here both as a baseline POS scheme and for
+// the MAC-vs-sentinel ablation.
+
+// ErrSentinelSpent is returned when more sentinels are requested than
+// remain unrevealed.
+var ErrSentinelSpent = errors.New("por: sentinel budget exhausted")
+
+// SentinelFile is a file prepared under the sentinel scheme.
+type SentinelFile struct {
+	FileID    string
+	BlockSize int
+	NumBlocks int64 // total blocks including sentinels
+	Sentinels int   // total sentinel count
+	Data      []byte
+}
+
+// SentinelScheme derives sentinel values and positions from a key.
+type SentinelScheme struct {
+	key       []byte
+	blockSize int
+}
+
+// NewSentinelScheme creates a scheme producing blockSize-byte sentinels.
+func NewSentinelScheme(key []byte, blockSize int) (*SentinelScheme, error) {
+	if blockSize <= 0 || blockSize > 32 {
+		return nil, fmt.Errorf("por: sentinel block size %d outside (0,32]", blockSize)
+	}
+	k := make([]byte, len(key))
+	copy(k, key)
+	return &SentinelScheme{key: k, blockSize: blockSize}, nil
+}
+
+func (s *SentinelScheme) prf(label byte, fileID string, i uint64) []byte {
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write([]byte{label})
+	mac.Write([]byte(fileID))
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	mac.Write(b[:])
+	return mac.Sum(nil)
+}
+
+// sentinelValue is the content of sentinel i.
+func (s *SentinelScheme) sentinelValue(fileID string, i uint64) []byte {
+	return s.prf('V', fileID, i)[:s.blockSize]
+}
+
+// sentinelPositions returns the final resting block index of each
+// sentinel after insertion, derived deterministically: sentinel i is
+// inserted at position prf(i) mod (current length+1), in order.
+func (s *SentinelScheme) sentinelPositions(fileID string, dataBlocks int64, count int) []int64 {
+	// Simulate sequential insertion to obtain final indices.
+	type ins struct{ at int64 }
+	inserts := make([]ins, count)
+	length := dataBlocks
+	for i := 0; i < count; i++ {
+		raw := binary.BigEndian.Uint64(s.prf('P', fileID, uint64(i))[:8])
+		inserts[i] = ins{at: int64(raw % uint64(length+1))}
+		length++
+	}
+	// Replay insertions tracking where each sentinel ends up: inserting
+	// at position p shifts every existing index ≥ p up by one.
+	final := make([]int64, count)
+	for i := 0; i < count; i++ {
+		for j := 0; j < i; j++ {
+			if final[j] >= inserts[i].at {
+				final[j]++
+			}
+		}
+		final[i] = inserts[i].at
+	}
+	return final
+}
+
+// Encode hides count sentinels among the file's blocks. The input is
+// treated as already encrypted (sentinels are only indistinguishable from
+// ciphertext).
+func (s *SentinelScheme) Encode(fileID string, encrypted []byte, count int) (*SentinelFile, error) {
+	if count <= 0 {
+		return nil, errors.New("por: sentinel count must be positive")
+	}
+	bs := int64(s.blockSize)
+	dataBlocks := (int64(len(encrypted)) + bs - 1) / bs
+	padded := make([]byte, dataBlocks*bs)
+	copy(padded, encrypted)
+
+	positions := s.sentinelPositions(fileID, dataBlocks, count)
+	total := dataBlocks + int64(count)
+	out := make([]byte, 0, total*bs)
+
+	// Build an index: position → sentinel id.
+	posOf := make(map[int64]uint64, count)
+	for i, p := range positions {
+		posOf[p] = uint64(i)
+	}
+	var src int64
+	for b := int64(0); b < total; b++ {
+		if id, ok := posOf[b]; ok {
+			out = append(out, s.sentinelValue(fileID, id)...)
+			continue
+		}
+		out = append(out, padded[src*bs:(src+1)*bs]...)
+		src++
+	}
+	return &SentinelFile{
+		FileID:    fileID,
+		BlockSize: s.blockSize,
+		NumBlocks: total,
+		Sentinels: count,
+		Data:      out,
+	}, nil
+}
+
+// SentinelChallenge names sentinels (by id) whose values the prover must
+// produce. Each id is single-use: revealing a sentinel spends it.
+type SentinelChallenge struct {
+	FileID string
+	IDs    []uint64
+}
+
+// Challenge selects q sequential unspent sentinel ids starting at
+// nextUnused. The caller tracks nextUnused across audits; the scheme's
+// audit lifetime is Sentinels/q challenges, the well-known bounded-use
+// property of sentinel PORs (and the reason GeoProof favours the MAC
+// variant for repeated geographic audits).
+func (s *SentinelScheme) Challenge(f *SentinelFile, nextUnused, q int) (SentinelChallenge, error) {
+	if q <= 0 || nextUnused < 0 {
+		return SentinelChallenge{}, errors.New("por: invalid sentinel challenge shape")
+	}
+	if nextUnused+q > f.Sentinels {
+		return SentinelChallenge{}, fmt.Errorf("%w: %d used, %d requested, %d total", ErrSentinelSpent, nextUnused, q, f.Sentinels)
+	}
+	ids := make([]uint64, q)
+	for i := range ids {
+		ids[i] = uint64(nextUnused + i)
+	}
+	return SentinelChallenge{FileID: f.FileID, IDs: ids}, nil
+}
+
+// Positions resolves the block positions of the challenged sentinels, in
+// challenge order — this is what the verifier sends to the prover.
+func (s *SentinelScheme) Positions(f *SentinelFile, ch SentinelChallenge) []int64 {
+	dataBlocks := f.NumBlocks - int64(f.Sentinels)
+	all := s.sentinelPositions(f.FileID, dataBlocks, f.Sentinels)
+	out := make([]int64, len(ch.IDs))
+	for i, id := range ch.IDs {
+		out[i] = all[id]
+	}
+	return out
+}
+
+// ReadBlocks is the prover-side read of arbitrary block positions.
+func (f *SentinelFile) ReadBlocks(positions []int64) ([][]byte, error) {
+	bs := int64(f.BlockSize)
+	out := make([][]byte, len(positions))
+	for i, p := range positions {
+		if p < 0 || p >= f.NumBlocks {
+			return nil, fmt.Errorf("%w: block %d", ErrBadSegment, p)
+		}
+		blk := make([]byte, bs)
+		copy(blk, f.Data[p*bs:(p+1)*bs])
+		out[i] = blk
+	}
+	return out, nil
+}
+
+// VerifySentinels checks the returned blocks against the expected
+// sentinel values, returning how many matched.
+func (s *SentinelScheme) VerifySentinels(ch SentinelChallenge, blocks [][]byte) (int, error) {
+	if len(blocks) != len(ch.IDs) {
+		return 0, fmt.Errorf("%w: %d blocks for %d sentinels", ErrBadEncoding, len(blocks), len(ch.IDs))
+	}
+	ok := 0
+	var firstErr error
+	for i, id := range ch.IDs {
+		want := s.sentinelValue(ch.FileID, id)
+		if bytes.Equal(want, blocks[i]) {
+			ok++
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("sentinel %d: %w", id, ErrTagMismatch)
+		}
+	}
+	return ok, firstErr
+}
+
+// ExtractData removes the sentinels and returns the embedded (encrypted)
+// payload bytes.
+func (s *SentinelScheme) ExtractData(f *SentinelFile, origLen int) ([]byte, error) {
+	dataBlocks := f.NumBlocks - int64(f.Sentinels)
+	positions := s.sentinelPositions(f.FileID, dataBlocks, f.Sentinels)
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	bs := int64(f.BlockSize)
+	out := make([]byte, 0, dataBlocks*bs)
+	next := 0
+	for b := int64(0); b < f.NumBlocks; b++ {
+		if next < len(positions) && positions[next] == b {
+			next++
+			continue
+		}
+		out = append(out, f.Data[b*bs:(b+1)*bs]...)
+	}
+	if origLen < 0 || int64(origLen) > int64(len(out)) {
+		return nil, fmt.Errorf("%w: original length %d", ErrBadEncoding, origLen)
+	}
+	return out[:origLen], nil
+}

@@ -1,0 +1,151 @@
+package por
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newSentinelScheme(t *testing.T) *SentinelScheme {
+	t.Helper()
+	s, err := NewSentinelScheme([]byte("sentinel-key"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSentinelEncodeShape(t *testing.T) {
+	s := newSentinelScheme(t)
+	data := testFile(20, 1000)
+	f, err := s.Encode("f", data, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := int64((1000+15)/16) + 50
+	if f.NumBlocks != wantBlocks {
+		t.Fatalf("blocks %d, want %d", f.NumBlocks, wantBlocks)
+	}
+	if int64(len(f.Data)) != wantBlocks*16 {
+		t.Fatalf("data %d bytes", len(f.Data))
+	}
+}
+
+func TestSentinelBadArgs(t *testing.T) {
+	if _, err := NewSentinelScheme([]byte("k"), 0); err == nil {
+		t.Error("block size 0 accepted")
+	}
+	if _, err := NewSentinelScheme([]byte("k"), 33); err == nil {
+		t.Error("block size 33 accepted")
+	}
+	s := newSentinelScheme(t)
+	if _, err := s.Encode("f", []byte("x"), 0); err == nil {
+		t.Error("zero sentinels accepted")
+	}
+}
+
+func TestSentinelChallengeVerify(t *testing.T) {
+	s := newSentinelScheme(t)
+	f, _ := s.Encode("f", testFile(21, 2000), 40)
+
+	ch, err := s.Challenge(f, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := s.Positions(f, ch)
+	blocks, err := f.ReadBlocks(positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.VerifySentinels(ch, blocks)
+	if err != nil || ok != 10 {
+		t.Fatalf("ok=%d err=%v", ok, err)
+	}
+}
+
+func TestSentinelDetectsCorruption(t *testing.T) {
+	s := newSentinelScheme(t)
+	f, _ := s.Encode("f", testFile(22, 2000), 40)
+	// Corrupt everything: every challenged sentinel must mismatch.
+	rand.New(rand.NewSource(5)).Read(f.Data)
+	ch, _ := s.Challenge(f, 0, 10)
+	blocks, _ := f.ReadBlocks(s.Positions(f, ch))
+	ok, err := s.VerifySentinels(ch, blocks)
+	if ok != 0 {
+		t.Fatalf("ok=%d after total corruption", ok)
+	}
+	if !errors.Is(err, ErrTagMismatch) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSentinelBudgetExhaustion(t *testing.T) {
+	s := newSentinelScheme(t)
+	f, _ := s.Encode("f", testFile(23, 500), 20)
+	if _, err := s.Challenge(f, 15, 10); !errors.Is(err, ErrSentinelSpent) {
+		t.Fatalf("got %v, want ErrSentinelSpent", err)
+	}
+	if _, err := s.Challenge(f, 0, 0); err == nil {
+		t.Error("zero-size challenge accepted")
+	}
+}
+
+func TestSentinelExtractData(t *testing.T) {
+	s := newSentinelScheme(t)
+	data := testFile(24, 1234)
+	f, _ := s.Encode("f", data, 30)
+	got, err := s.ExtractData(f, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("sentinel extract mismatch")
+	}
+	if _, err := s.ExtractData(f, 1<<30); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("oversized origLen: %v", err)
+	}
+}
+
+func TestSentinelPositionsDeterministic(t *testing.T) {
+	s := newSentinelScheme(t)
+	f, _ := s.Encode("f", testFile(25, 800), 25)
+	ch, _ := s.Challenge(f, 5, 10)
+	p1 := s.Positions(f, ch)
+	p2 := s.Positions(f, ch)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("positions not deterministic")
+		}
+	}
+	seen := make(map[int64]bool)
+	for _, p := range p1 {
+		if p < 0 || p >= f.NumBlocks {
+			t.Fatalf("position %d out of range", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate sentinel position %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSentinelReadBlocksBounds(t *testing.T) {
+	s := newSentinelScheme(t)
+	f, _ := s.Encode("f", testFile(26, 100), 5)
+	if _, err := f.ReadBlocks([]int64{-1}); err == nil {
+		t.Error("negative position accepted")
+	}
+	if _, err := f.ReadBlocks([]int64{f.NumBlocks}); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+}
+
+func TestSentinelVerifyShapeMismatch(t *testing.T) {
+	s := newSentinelScheme(t)
+	f, _ := s.Encode("f", testFile(27, 100), 5)
+	ch, _ := s.Challenge(f, 0, 3)
+	if _, err := s.VerifySentinels(ch, [][]byte{{1}}); !errors.Is(err, ErrBadEncoding) {
+		t.Fatalf("got %v", err)
+	}
+}

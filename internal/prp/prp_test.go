@@ -1,0 +1,160 @@
+package prp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKey() []byte { return []byte("geoproof-prp-test-key-0123456789") }
+
+func permutations(t *testing.T, n uint64) map[string]Permutation {
+	t.Helper()
+	f, err := NewFeistel(testKey(), n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSwapOrNot(testKey(), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Permutation{"feistel": f, "swapornot": s}
+}
+
+func TestBijectivitySmallDomains(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 5, 16, 17, 100, 255, 256, 1000} {
+		for name, p := range permutations(t, n) {
+			seen := make(map[uint64]bool, n)
+			for x := uint64(0); x < n; x++ {
+				y := p.Index(x)
+				if y >= n {
+					t.Fatalf("%s n=%d: Index(%d)=%d outside domain", name, n, x, y)
+				}
+				if seen[y] {
+					t.Fatalf("%s n=%d: collision at output %d", name, n, y)
+				}
+				seen[y] = true
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, n := range []uint64{1, 7, 64, 1023} {
+		for name, p := range permutations(t, n) {
+			for x := uint64(0); x < n; x++ {
+				if got := p.Inverse(p.Index(x)); got != x {
+					t.Fatalf("%s n=%d: Inverse(Index(%d))=%d", name, n, x, got)
+				}
+				if got := p.Index(p.Inverse(x)); got != x {
+					t.Fatalf("%s n=%d: Index(Inverse(%d))=%d", name, n, x, got)
+				}
+			}
+		}
+	}
+}
+
+func TestInverseRoundTripPropertyLargeDomain(t *testing.T) {
+	const n = uint64(153008209) // ECC'd block count from the paper's example
+	for name, p := range permutations(t, n) {
+		f := func(raw uint64) bool {
+			x := raw % n
+			return p.Inverse(p.Index(x)) == x
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDeterministicForKey(t *testing.T) {
+	f1, _ := NewFeistel(testKey(), 1000, 8)
+	f2, _ := NewFeistel(testKey(), 1000, 8)
+	for x := uint64(0); x < 1000; x += 37 {
+		if f1.Index(x) != f2.Index(x) {
+			t.Fatal("same key produced different permutations")
+		}
+	}
+}
+
+func TestDifferentKeysDiffer(t *testing.T) {
+	const n = 4096
+	f1, _ := NewFeistel([]byte("key-one"), n, 8)
+	f2, _ := NewFeistel([]byte("key-two"), n, 8)
+	same := 0
+	for x := uint64(0); x < n; x++ {
+		if f1.Index(x) == f2.Index(x) {
+			same++
+		}
+	}
+	// Two random permutations agree on ~1 point on average; allow slack.
+	if same > 20 {
+		t.Fatalf("distinct keys agree on %d/%d points", same, n)
+	}
+}
+
+func TestPermutationLooksUniform(t *testing.T) {
+	// First-bucket occupancy test: map [0,n) through the PRP and count
+	// how many land in each quarter; each quarter should get ~n/4.
+	const n = 40000
+	for name, p := range permutations(t, n) {
+		var counts [4]int
+		for x := uint64(0); x < n; x++ {
+			counts[p.Index(x)/(n/4)]++
+		}
+		for q, c := range counts {
+			if c < n/4-n/20 || c > n/4+n/20 {
+				t.Fatalf("%s: quarter %d has %d of %d outputs", name, q, c, n)
+			}
+		}
+	}
+}
+
+func TestBadDomains(t *testing.T) {
+	if _, err := NewFeistel(testKey(), 0, 8); !errors.Is(err, ErrBadDomain) {
+		t.Fatalf("Feistel n=0: %v", err)
+	}
+	if _, err := NewSwapOrNot(testKey(), 0, 0); !errors.Is(err, ErrBadDomain) {
+		t.Fatalf("SwapOrNot n=0: %v", err)
+	}
+	if _, err := NewFeistel(testKey(), MaxDomain+1, 8); !errors.Is(err, ErrBadDomain) {
+		t.Fatalf("Feistel too large: %v", err)
+	}
+}
+
+func TestOutOfDomainPanics(t *testing.T) {
+	p, _ := NewFeistel(testKey(), 10, 8)
+	for _, f := range []func(){
+		func() { p.Index(10) },
+		func() { p.Inverse(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-domain access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFeistelMinimumRounds(t *testing.T) {
+	p, err := NewFeistel(testKey(), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.rounds < 4 {
+		t.Fatalf("rounds=%d, want >=4", p.rounds)
+	}
+}
+
+func TestKeyCopiedAtConstruction(t *testing.T) {
+	key := []byte("mutable-key-material")
+	p, _ := NewFeistel(key, 100, 8)
+	before := p.Index(5)
+	key[0] ^= 0xFF
+	if p.Index(5) != before {
+		t.Fatal("permutation changed when caller mutated the key slice")
+	}
+}

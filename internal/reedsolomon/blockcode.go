@@ -1,0 +1,100 @@
+package reedsolomon
+
+import (
+	"fmt"
+)
+
+// BlockCode applies an RS(n, k) code to chunks of fixed-size blocks by
+// byte-position interleaving: byte position j of every block in a chunk
+// forms one RS codeword. A chunk of k data blocks therefore expands to n
+// blocks, and any set of up to T() corrupted blocks per chunk (or up to
+// n-k known-bad blocks) is recoverable, matching the per-block correction
+// power the GeoProof paper assumes for its (255,223,32) code over 128-bit
+// blocks.
+type BlockCode struct {
+	code      *Code
+	blockSize int
+}
+
+// NewBlockCode builds a block-interleaved codec. blockSize is in bytes
+// (16 for the paper's 128-bit AES-sized blocks).
+func NewBlockCode(code *Code, blockSize int) (*BlockCode, error) {
+	if code == nil || blockSize <= 0 {
+		return nil, fmt.Errorf("%w: nil code or blockSize=%d", ErrBadShape, blockSize)
+	}
+	return &BlockCode{code: code, blockSize: blockSize}, nil
+}
+
+// Code returns the underlying symbol-level code.
+func (bc *BlockCode) Code() *Code { return bc.code }
+
+// BlockSize returns the block size in bytes.
+func (bc *BlockCode) BlockSize() int { return bc.blockSize }
+
+// DataBlocks returns the number of data blocks per chunk (k).
+func (bc *BlockCode) DataBlocks() int { return bc.code.K() }
+
+// ChunkBlocks returns the number of blocks per encoded chunk (n).
+func (bc *BlockCode) ChunkBlocks() int { return bc.code.N() }
+
+// EncodeChunk encodes exactly k·blockSize bytes of data into n·blockSize
+// bytes (data blocks followed by parity blocks).
+func (bc *BlockCode) EncodeChunk(data []byte) ([]byte, error) {
+	k, n, bs := bc.code.K(), bc.code.N(), bc.blockSize
+	if len(data) != k*bs {
+		return nil, fmt.Errorf("%w: chunk is %d bytes, want %d", ErrWrongLength, len(data), k*bs)
+	}
+	out := make([]byte, n*bs)
+	copy(out, data)
+	col := make([]byte, k)
+	for j := 0; j < bs; j++ {
+		for b := 0; b < k; b++ {
+			col[b] = data[b*bs+j]
+		}
+		cw, err := bc.code.Encode(col)
+		if err != nil {
+			return nil, err
+		}
+		for b := k; b < n; b++ {
+			out[b*bs+j] = cw[b]
+		}
+	}
+	return out, nil
+}
+
+// DecodeChunk recovers the k·blockSize data bytes from an n·blockSize
+// chunk, correcting corrupted blocks. badBlocks optionally lists block
+// indexes within the chunk known to be unreliable (treated as erasures in
+// every interleaved codeword).
+func (bc *BlockCode) DecodeChunk(chunk []byte, badBlocks []int) ([]byte, error) {
+	k, n, bs := bc.code.K(), bc.code.N(), bc.blockSize
+	if len(chunk) != n*bs {
+		return nil, fmt.Errorf("%w: chunk is %d bytes, want %d", ErrWrongLength, len(chunk), n*bs)
+	}
+	for _, b := range badBlocks {
+		if b < 0 || b >= n {
+			return nil, fmt.Errorf("%w: block %d", ErrBadErasurePos, b)
+		}
+	}
+	out := make([]byte, k*bs)
+	cw := make([]byte, n)
+	for j := 0; j < bs; j++ {
+		for b := 0; b < n; b++ {
+			cw[b] = chunk[b*bs+j]
+		}
+		data, err := bc.code.Decode(cw, badBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("stripe %d: %w", j, err)
+		}
+		for b := 0; b < k; b++ {
+			out[b*bs+j] = data[b]
+		}
+	}
+	return out, nil
+}
+
+// Expansion returns the storage expansion factor n/k of the code (≈1.1435
+// for the paper's (255,223) code, i.e. "about 14%").
+func (bc *BlockCode) Expansion() float64 {
+	return float64(bc.code.N()) / float64(bc.code.K())
+}

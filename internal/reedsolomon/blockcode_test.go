@@ -1,0 +1,131 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func newStdBlockCode(t *testing.T) *BlockCode {
+	t.Helper()
+	bc, err := NewBlockCode(MustNew(StdN, StdK), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bc
+}
+
+func TestBlockCodeShape(t *testing.T) {
+	bc := newStdBlockCode(t)
+	if bc.DataBlocks() != 223 || bc.ChunkBlocks() != 255 || bc.BlockSize() != 16 {
+		t.Fatalf("unexpected shape: k=%d n=%d bs=%d", bc.DataBlocks(), bc.ChunkBlocks(), bc.BlockSize())
+	}
+	exp := bc.Expansion()
+	if exp < 1.14 || exp > 1.15 {
+		t.Fatalf("expansion %.4f, want ≈1.1435 (paper: about 14%%)", exp)
+	}
+}
+
+func TestNewBlockCodeRejectsBadArgs(t *testing.T) {
+	if _, err := NewBlockCode(nil, 16); err == nil {
+		t.Error("nil code accepted")
+	}
+	if _, err := NewBlockCode(MustNew(255, 223), 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+}
+
+func TestBlockChunkRoundTrip(t *testing.T) {
+	bc := newStdBlockCode(t)
+	data := randBytes(7, bc.DataBlocks()*bc.BlockSize())
+	enc, err := bc.EncodeChunk(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != bc.ChunkBlocks()*bc.BlockSize() {
+		t.Fatalf("encoded chunk %d bytes, want %d", len(enc), bc.ChunkBlocks()*bc.BlockSize())
+	}
+	if !bytes.Equal(enc[:len(data)], data) {
+		t.Fatal("block code not systematic")
+	}
+	dec, err := bc.DecodeChunk(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("clean round trip mismatch")
+	}
+}
+
+func TestBlockCodeCorrectsCorruptedBlocks(t *testing.T) {
+	bc := newStdBlockCode(t)
+	rng := rand.New(rand.NewSource(11))
+	data := randBytes(8, bc.DataBlocks()*bc.BlockSize())
+	enc, _ := bc.EncodeChunk(data)
+
+	for _, nBad := range []int{1, 5, 16} {
+		corrupted := make([]byte, len(enc))
+		copy(corrupted, enc)
+		for _, b := range rng.Perm(bc.ChunkBlocks())[:nBad] {
+			// Trash the whole block.
+			off := b * bc.BlockSize()
+			rng.Read(corrupted[off : off+bc.BlockSize()])
+		}
+		dec, err := bc.DecodeChunk(corrupted, nil)
+		if err != nil {
+			t.Fatalf("nBad=%d: %v", nBad, err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("nBad=%d: decode mismatch", nBad)
+		}
+	}
+}
+
+func TestBlockCodeErasureBlocks(t *testing.T) {
+	bc := newStdBlockCode(t)
+	rng := rand.New(rand.NewSource(12))
+	data := randBytes(9, bc.DataBlocks()*bc.BlockSize())
+	enc, _ := bc.EncodeChunk(data)
+	corrupted := make([]byte, len(enc))
+	copy(corrupted, enc)
+	bad := rng.Perm(bc.ChunkBlocks())[:32] // full erasure budget
+	for _, b := range bad {
+		off := b * bc.BlockSize()
+		rng.Read(corrupted[off : off+bc.BlockSize()])
+	}
+	dec, err := bc.DecodeChunk(corrupted, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("erasure decode mismatch")
+	}
+}
+
+func TestBlockCodeFailsBeyondCapacity(t *testing.T) {
+	bc := newStdBlockCode(t)
+	rng := rand.New(rand.NewSource(13))
+	data := randBytes(10, bc.DataBlocks()*bc.BlockSize())
+	enc, _ := bc.EncodeChunk(data)
+	for _, b := range rng.Perm(bc.ChunkBlocks())[:40] {
+		off := b * bc.BlockSize()
+		rng.Read(enc[off : off+bc.BlockSize()])
+	}
+	if _, err := bc.DecodeChunk(enc, nil); err == nil {
+		t.Fatal("expected failure with 40 corrupted blocks")
+	}
+}
+
+func TestBlockCodeWrongSizes(t *testing.T) {
+	bc := newStdBlockCode(t)
+	if _, err := bc.EncodeChunk(make([]byte, 10)); !errors.Is(err, ErrWrongLength) {
+		t.Fatalf("EncodeChunk: got %v", err)
+	}
+	if _, err := bc.DecodeChunk(make([]byte, 10), nil); !errors.Is(err, ErrWrongLength) {
+		t.Fatalf("DecodeChunk: got %v", err)
+	}
+	if _, err := bc.DecodeChunk(make([]byte, bc.ChunkBlocks()*16), []int{300}); !errors.Is(err, ErrBadErasurePos) {
+		t.Fatalf("bad erasure: got %v", err)
+	}
+}

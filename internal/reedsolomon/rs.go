@@ -1,0 +1,339 @@
+// Package reedsolomon implements systematic Reed-Solomon codes over
+// GF(2^8), including a full decoder (Berlekamp-Massey, Chien search and
+// Forney's algorithm) that corrects both errors and erasures.
+//
+// GeoProof's POR setup phase (paper §V-A, step 2) applies the adapted
+// (255, 223, 32) Reed-Solomon code to each 255-block chunk of the file. The
+// paper states the code over GF(2^128); we realise the identical chunk
+// geometry over GF(2^8) by interleaving (see BlockCode): each of the 16
+// byte positions of a 128-bit block forms an independent (255,223)
+// codeword, so any pattern of up to 16 corrupted *blocks* per chunk remains
+// correctable (up to 32 as erasures), exactly matching the per-block
+// correction power the paper relies on.
+package reedsolomon
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// Standard parameters of the adapted code used by the paper.
+const (
+	StdN = 255 // codeword length in symbols
+	StdK = 223 // data symbols per codeword
+	StdT = 16  // correctable symbol errors: (n-k)/2
+)
+
+// Common decoder failures. ErrTooManyErrors is returned when the received
+// word is corrupted beyond the code's correction capability (or the decoder
+// produced an inconsistent locator); callers treat it as data loss.
+var (
+	ErrTooManyErrors  = errors.New("reedsolomon: too many errors to correct")
+	ErrWrongLength    = errors.New("reedsolomon: codeword has wrong length")
+	ErrBadShape       = errors.New("reedsolomon: invalid code parameters")
+	ErrBadErasurePos  = errors.New("reedsolomon: erasure position out of range")
+	ErrVerifyMismatch = errors.New("reedsolomon: codeword fails parity check")
+)
+
+// Code is a systematic RS(n, k) code over GF(2^8) with first consecutive
+// root α^1 (fcr = 1). It is safe for concurrent use once constructed.
+type Code struct {
+	n, k int
+	gen  []byte // generator polynomial, descending order, degree n-k
+}
+
+// New constructs an RS(n, k) code. n must be at most 255 and k must satisfy
+// 0 < k < n.
+func New(n, k int) (*Code, error) {
+	if n > 255 || k <= 0 || k >= n {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrBadShape, n, k)
+	}
+	// g(x) = Π_{i=1..n-k} (x - α^i)
+	gen := []byte{1}
+	for i := 1; i <= n-k; i++ {
+		gen = gf256.PolyMul(gen, []byte{1, gf256.Exp(i)})
+	}
+	return &Code{n: n, k: k, gen: gen}, nil
+}
+
+// MustNew is New for statically known-good parameters; it panics on error
+// and is intended for package-level defaults.
+func MustNew(n, k int) *Code {
+	c, err := New(n, k)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// N returns the codeword length in symbols.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of data symbols per codeword.
+func (c *Code) K() int { return c.k }
+
+// T returns the number of correctable symbol errors, (n-k)/2.
+func (c *Code) T() int { return (c.n - c.k) / 2 }
+
+// Encode appends n-k parity symbols to the k data symbols and returns the
+// full systematic codeword. data must be exactly k bytes.
+func (c *Code) Encode(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data symbols, want %d", ErrWrongLength, len(data), c.k)
+	}
+	cw := make([]byte, c.n)
+	copy(cw, data)
+	// Remainder of data(x)·x^(n-k) mod g(x) gives the parity symbols.
+	rem := make([]byte, c.n)
+	copy(rem, data)
+	inv := gf256.Inv(c.gen[0])
+	for i := 0; i < c.k; i++ {
+		f := gf256.Mul(rem[i], inv)
+		if f == 0 {
+			continue
+		}
+		for j, g := range c.gen {
+			rem[i+j] ^= gf256.Mul(f, g)
+		}
+	}
+	copy(cw[c.k:], rem[c.k:])
+	return cw, nil
+}
+
+// Verify reports whether cw is a valid codeword (all syndromes zero).
+func (c *Code) Verify(cw []byte) error {
+	if len(cw) != c.n {
+		return fmt.Errorf("%w: got %d symbols, want %d", ErrWrongLength, len(cw), c.n)
+	}
+	for _, s := range c.syndromes(cw) {
+		if s != 0 {
+			return ErrVerifyMismatch
+		}
+	}
+	return nil
+}
+
+// Decode corrects up to T symbol errors in place and returns the k data
+// symbols. erasures lists symbol positions known to be unreliable; with e
+// erasures and v unknown errors, decoding succeeds when 2v+e ≤ n-k.
+func (c *Code) Decode(cw []byte, erasures []int) ([]byte, error) {
+	if len(cw) != c.n {
+		return nil, fmt.Errorf("%w: got %d symbols, want %d", ErrWrongLength, len(cw), c.n)
+	}
+	for _, p := range erasures {
+		if p < 0 || p >= c.n {
+			return nil, fmt.Errorf("%w: %d", ErrBadErasurePos, p)
+		}
+	}
+	if len(erasures) > c.n-c.k {
+		return nil, ErrTooManyErrors
+	}
+
+	synd := c.syndromes(cw)
+	if allZero(synd) {
+		return cw[:c.k], nil
+	}
+
+	// Erasure locator Γ(x) = Π (1 - x·α^{pos'}) where pos' is the
+	// power-of-α position index counted from the highest-degree symbol.
+	gamma := []byte{1} // ascending order
+	for _, p := range erasures {
+		xi := gf256.Exp(c.n - 1 - p)
+		gamma = mulAsc(gamma, []byte{1, xi})
+	}
+	// Forney syndromes fold erasure knowledge into the key equation so
+	// Berlekamp-Massey only has to find the unknown errors: take
+	// Γ(x)·S(x) mod x^{2t} and drop the e low-order coefficients.
+	fsynd := mulAscMod(gamma, synd, c.n-c.k)[len(erasures):]
+
+	lambda, err := c.berlekampMassey(fsynd)
+	if err != nil {
+		return nil, err
+	}
+	// Full locator = error locator × erasure locator.
+	locator := mulAsc(lambda, gamma)
+
+	positions, err := c.chienSearch(locator)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.forney(cw, synd, locator, positions); err != nil {
+		return nil, err
+	}
+	if !allZero(c.syndromes(cw)) {
+		return nil, ErrTooManyErrors
+	}
+	return cw[:c.k], nil
+}
+
+// syndromes returns S_i = cw(α^i) for i = 1..n-k (ascending slice index
+// i-1).
+func (c *Code) syndromes(cw []byte) []byte {
+	out := make([]byte, c.n-c.k)
+	for i := range out {
+		out[i] = gf256.PolyVal(cw, gf256.Exp(i+1))
+	}
+	return out
+}
+
+// berlekampMassey finds the error-locator polynomial Λ(x) (ascending
+// order, Λ(0)=1) from the given syndrome sequence.
+func (c *Code) berlekampMassey(synd []byte) ([]byte, error) {
+	lambda := []byte{1}
+	prev := []byte{1}
+	var l int
+	var m = 1
+	var b byte = 1
+	for n := 0; n < len(synd); n++ {
+		// Discrepancy δ = Σ Λ_i · S_{n-i}.
+		var delta byte
+		for i := 0; i <= l && i < len(lambda); i++ {
+			if n-i >= 0 && n-i < len(synd) {
+				delta ^= gf256.Mul(lambda[i], synd[n-i])
+			}
+		}
+		if delta == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			t := make([]byte, len(lambda))
+			copy(t, lambda)
+			coef := gf256.Div(delta, b)
+			lambda = ascAdd(lambda, ascShiftScale(prev, m, coef))
+			l = n + 1 - l
+			prev = t
+			b = delta
+			m = 1
+		} else {
+			coef := gf256.Div(delta, b)
+			lambda = ascAdd(lambda, ascShiftScale(prev, m, coef))
+			m++
+		}
+	}
+	if 2*l > len(synd) {
+		return nil, ErrTooManyErrors
+	}
+	return trimAsc(lambda), nil
+}
+
+// chienSearch finds the roots of the locator polynomial and converts them
+// to codeword positions.
+func (c *Code) chienSearch(locator []byte) ([]int, error) {
+	deg := len(locator) - 1
+	var positions []int
+	for i := 0; i < c.n; i++ {
+		// Position i (from the start of the codeword) corresponds to
+		// α^{n-1-i}; it is a root location when Λ(α^{-(n-1-i)}) = 0.
+		x := gf256.Exp(-(c.n - 1 - i))
+		if gf256.PolyValAscending(locator, x) == 0 {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) != deg {
+		return nil, ErrTooManyErrors
+	}
+	return positions, nil
+}
+
+// forney computes the error magnitudes and corrects cw in place.
+func (c *Code) forney(cw, synd, locator []byte, positions []int) error {
+	// Error evaluator Ω(x) = S(x)·Λ(x) mod x^{n-k}.
+	omega := mulAscMod(locator, synd, c.n-c.k)
+	// Formal derivative Λ'(x): in characteristic 2 the even-degree terms
+	// vanish.
+	deriv := make([]byte, 0, len(locator)/2+1)
+	for i := 1; i < len(locator); i += 2 {
+		deriv = append(deriv, locator[i])
+	}
+	for _, p := range positions {
+		xInv := gf256.Exp(-(c.n - 1 - p))
+		num := gf256.PolyValAscending(omega, xInv)
+		// Λ'(x) evaluated at xInv, accounting for the skipped odd
+		// powers: Λ'(x) = Σ_{i odd} Λ_i x^{i-1} = Σ_j deriv[j]·x^{2j}.
+		var den byte
+		x2 := gf256.Mul(xInv, xInv)
+		var pow byte = 1
+		for _, d := range deriv {
+			den ^= gf256.Mul(d, pow)
+			pow = gf256.Mul(pow, x2)
+		}
+		if den == 0 {
+			return ErrTooManyErrors
+		}
+		// Forney with fcr=1: magnitude = Ω(X^{-1})/Λ'(X^{-1}) where
+		// X = α^{n-1-p} (the sign is immaterial in characteristic 2).
+		cw[p] ^= gf256.Div(num, den)
+	}
+	return nil
+}
+
+func allZero(p []byte) bool {
+	for _, v := range p {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// --- ascending-order polynomial helpers ---
+
+func mulAsc(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] ^= gf256.Mul(ca, cb)
+		}
+	}
+	return out
+}
+
+func mulAscMod(a, b []byte, mod int) []byte {
+	out := make([]byte, mod)
+	for i, ca := range a {
+		if ca == 0 || i >= mod {
+			continue
+		}
+		for j, cb := range b {
+			if i+j >= mod {
+				break
+			}
+			out[i+j] ^= gf256.Mul(ca, cb)
+		}
+	}
+	return out
+}
+
+func ascAdd(a, b []byte) []byte {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]byte, len(a))
+	copy(out, a)
+	for i, v := range b {
+		out[i] ^= v
+	}
+	return out
+}
+
+func ascShiftScale(p []byte, shift int, c byte) []byte {
+	out := make([]byte, len(p)+shift)
+	for i, v := range p {
+		out[i+shift] = gf256.Mul(v, c)
+	}
+	return out
+}
+
+func trimAsc(p []byte) []byte {
+	i := len(p)
+	for i > 1 && p[i-1] == 0 {
+		i--
+	}
+	return p[:i]
+}

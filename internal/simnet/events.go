@@ -1,0 +1,112 @@
+package simnet
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Event is a scheduled simulator callback.
+type Event struct {
+	At time.Time
+	Fn func()
+
+	seq int // tie-break so equal-time events run in scheduling order
+}
+
+// eventQueue is a min-heap over (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].At.Equal(q[j].At) {
+		return q[i].At.Before(q[j].At)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*Event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is a deterministic discrete-event loop bound to a virtual
+// clock. It complements Network.RoundTrip for scenarios with concurrent
+// independent activities (e.g. several auditors triangulating the
+// verifier at once). Events scheduled for the same instant run in
+// scheduling order.
+type Scheduler struct {
+	clock *vclock.Virtual
+	queue eventQueue
+	seq   int
+}
+
+// NewScheduler creates a scheduler over the given virtual clock.
+func NewScheduler(clock *vclock.Virtual) *Scheduler {
+	if clock == nil {
+		clock = vclock.NewVirtual(time.Time{})
+	}
+	s := &Scheduler{clock: clock}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Clock returns the scheduler's virtual clock.
+func (s *Scheduler) Clock() *vclock.Virtual { return s.clock }
+
+// At schedules fn to run at instant t. Instants in the past run
+// immediately on the next Run/Step at the current time.
+func (s *Scheduler) At(t time.Time, fn func()) {
+	s.seq++
+	heap.Push(&s.queue, &Event{At: t, Fn: fn, seq: s.seq})
+}
+
+// After schedules fn to run d from the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) {
+	s.At(s.clock.Now().Add(d), fn)
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// Step runs the earliest event, advancing the clock to its timestamp. It
+// reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.clock.Set(e.At)
+	e.Fn()
+	return true
+}
+
+// Run executes events in timestamp order until the queue is empty or the
+// virtual clock would pass the until instant. It returns the number of
+// events executed.
+func (s *Scheduler) Run(until time.Time) int {
+	ran := 0
+	for s.queue.Len() > 0 && !s.queue[0].At.After(until) {
+		s.Step()
+		ran++
+	}
+	return ran
+}
+
+// Drain executes every queued event (including events scheduled by other
+// events) and returns the count. Use with care: self-rescheduling events
+// make this loop forever, so a generous safety cap aborts after maxEvents.
+func (s *Scheduler) Drain(maxEvents int) int {
+	ran := 0
+	for s.queue.Len() > 0 && ran < maxEvents {
+		s.Step()
+		ran++
+	}
+	return ran
+}

@@ -1,0 +1,243 @@
+// Package simnet is the discrete-event network simulator that substitutes
+// for the paper's physical testbed (QUT LAN, Australian Internet paths).
+//
+// Protocol code observes only round-trip times; simnet produces those RTTs
+// from the same physical model the paper reasons with: propagation at
+// 2c/3 in fibre LANs (§V-E) and an effective 4c/9 across Internet paths
+// (§V-F), plus last-mile, switching and service-time terms and optional
+// jitter. Time is virtual (vclock.Virtual), so simulations are fast and
+// perfectly reproducible.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/vclock"
+)
+
+// Errors reported by the simulator.
+var (
+	ErrUnknownNode = errors.New("simnet: unknown node")
+	ErrNoLink      = errors.New("simnet: no link between nodes")
+	ErrDropped     = errors.New("simnet: packet dropped")
+)
+
+// Handler services a request at a node, returning the response and the
+// local service time (e.g. a disk look-up) that elapses before the reply
+// leaves the node.
+type Handler func(req any) (resp any, service time.Duration)
+
+// Latency models the one-way delay of a link.
+type Latency interface {
+	OneWay(rng *rand.Rand) time.Duration
+}
+
+// Fixed is a constant one-way delay.
+type Fixed time.Duration
+
+// OneWay returns the constant delay.
+func (f Fixed) OneWay(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// LANLink models an optic-fibre / Ethernet local network path: propagation
+// at 2c/3 over the cable distance, a per-switch forwarding cost, and a
+// fixed stack overhead. With the defaults used in experiment E2 every
+// campus-scale path stays well under the paper's 1 ms LAN budget.
+type LANLink struct {
+	DistanceKm float64
+	Switches   int
+	PerSwitch  time.Duration // forwarding cost per switch
+	Base       time.Duration // endpoint stack overhead
+	Jitter     time.Duration // uniform [0, Jitter)
+}
+
+// OneWay returns the one-way LAN delay.
+func (l LANLink) OneWay(rng *rand.Rand) time.Duration {
+	d := geo.OneWayTime(l.DistanceKm, geo.SpeedFiberKmPerMs)
+	d += time.Duration(l.Switches) * l.PerSwitch
+	d += l.Base
+	if l.Jitter > 0 && rng != nil {
+		d += time.Duration(rng.Int63n(int64(l.Jitter)))
+	}
+	return d
+}
+
+// InternetLink models a wide-area path: a last-mile access delay (the
+// paper measured from ADSL2), propagation at 4c/9 over the great-circle
+// distance inflated by a path-stretch factor (routes are not geodesics),
+// and optional jitter.
+type InternetLink struct {
+	DistanceKm  float64
+	PathStretch float64       // ≥1; 0 means DefaultPathStretch
+	LastMile    time.Duration // one-way access-network delay
+	Jitter      time.Duration // uniform [0, Jitter)
+}
+
+// Default parameters calibrated against the paper's Table III rows.
+const (
+	DefaultPathStretch = 1.3
+	DefaultLastMile    = 9 * time.Millisecond
+)
+
+// OneWay returns the one-way Internet delay.
+func (l InternetLink) OneWay(rng *rand.Rand) time.Duration {
+	stretch := l.PathStretch
+	if stretch <= 0 {
+		stretch = DefaultPathStretch
+	}
+	d := geo.OneWayTime(l.DistanceKm*stretch, geo.SpeedInternetKmPerMs)
+	d += l.LastMile
+	if l.Jitter > 0 && rng != nil {
+		d += time.Duration(rng.Int63n(int64(l.Jitter)))
+	}
+	return d
+}
+
+// node is a registered endpoint.
+type node struct {
+	name    string
+	pos     geo.Position
+	handler Handler
+}
+
+// Network is a simulated network over a virtual clock. It is not safe for
+// concurrent use: simulations are single-threaded and deterministic by
+// design.
+type Network struct {
+	clock *vclock.Virtual
+	rng   *rand.Rand
+	nodes map[string]*node
+	links map[[2]string]Latency
+	drop  map[[2]string]float64 // loss probability per direction-agnostic pair
+}
+
+// New creates an empty network with the given seed for jitter and loss
+// draws.
+func New(clock *vclock.Virtual, seed int64) *Network {
+	if clock == nil {
+		clock = vclock.NewVirtual(time.Time{})
+	}
+	return &Network{
+		clock: clock,
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[string]*node),
+		links: make(map[[2]string]Latency),
+		drop:  make(map[[2]string]float64),
+	}
+}
+
+// Clock exposes the network's virtual clock.
+func (n *Network) Clock() *vclock.Virtual { return n.clock }
+
+// AddNode registers a named endpoint with a position and handler. Adding
+// an existing name replaces its handler and position.
+func (n *Network) AddNode(name string, pos geo.Position, h Handler) {
+	n.nodes[name] = &node{name: name, pos: pos, handler: h}
+}
+
+// SetHandler replaces the handler of an existing node.
+func (n *Network) SetHandler(name string, h Handler) error {
+	nd, ok := n.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	nd.handler = h
+	return nil
+}
+
+// Position returns a node's registered position.
+func (n *Network) Position(name string) (geo.Position, error) {
+	nd, ok := n.nodes[name]
+	if !ok {
+		return geo.Position{}, fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	return nd.pos, nil
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetLink installs a bidirectional latency model between two nodes.
+func (n *Network) SetLink(a, b string, lat Latency) {
+	n.links[pairKey(a, b)] = lat
+}
+
+// SetLoss sets the probability that any single packet on the link is lost.
+func (n *Network) SetLoss(a, b string, p float64) {
+	n.drop[pairKey(a, b)] = p
+}
+
+// linkFor resolves the latency model between two registered nodes.
+func (n *Network) linkFor(a, b string) (Latency, error) {
+	if _, ok := n.nodes[a]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, a)
+	}
+	if _, ok := n.nodes[b]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, b)
+	}
+	lat, ok := n.links[pairKey(a, b)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s-%s", ErrNoLink, a, b)
+	}
+	return lat, nil
+}
+
+// RoundTrip sends req from node a to node b, runs b's handler and carries
+// the response back. It advances the virtual clock through both
+// propagation legs and the service time and returns the response together
+// with the RTT as node a would measure it on its own clock. Packet loss on
+// either leg surfaces as ErrDropped after the elapsed one-way delay.
+func (n *Network) RoundTrip(a, b string, req any) (resp any, rtt time.Duration, err error) {
+	lat, err := n.linkFor(a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	dst := n.nodes[b]
+	if dst.handler == nil {
+		return nil, 0, fmt.Errorf("simnet: node %s has no handler", b)
+	}
+	start := n.clock.Now()
+	lossP := n.drop[pairKey(a, b)]
+
+	// Forward leg.
+	d1 := lat.OneWay(n.rng)
+	n.clock.Advance(d1)
+	if lossP > 0 && n.rng.Float64() < lossP {
+		return nil, n.clock.Now().Sub(start), ErrDropped
+	}
+
+	// Service at b.
+	resp, service := dst.handler(req)
+	if service > 0 {
+		n.clock.Advance(service)
+	}
+
+	// Return leg.
+	d2 := lat.OneWay(n.rng)
+	n.clock.Advance(d2)
+	if lossP > 0 && n.rng.Float64() < lossP {
+		return nil, n.clock.Now().Sub(start), ErrDropped
+	}
+	return resp, n.clock.Now().Sub(start), nil
+}
+
+// Ping measures the RTT between a and b with a nil payload handler
+// bypass: it uses the link model only (no service time), like an ICMP
+// echo against the network stack.
+func (n *Network) Ping(a, b string) (time.Duration, error) {
+	lat, err := n.linkFor(a, b)
+	if err != nil {
+		return 0, err
+	}
+	start := n.clock.Now()
+	n.clock.Advance(lat.OneWay(n.rng))
+	n.clock.Advance(lat.OneWay(n.rng))
+	return n.clock.Now().Sub(start), nil
+}

@@ -1,0 +1,212 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/vclock"
+)
+
+func newTestNet() *Network {
+	return New(vclock.NewVirtual(time.Time{}), 1)
+}
+
+func TestRoundTripFixedLatency(t *testing.T) {
+	n := newTestNet()
+	n.AddNode("v", geo.Brisbane, nil)
+	n.AddNode("p", geo.Brisbane, func(req any) (any, time.Duration) {
+		return "pong", 2 * time.Millisecond
+	})
+	n.SetLink("v", "p", Fixed(500*time.Microsecond))
+
+	resp, rtt, err := n.RoundTrip("v", "p", "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "pong" {
+		t.Fatalf("resp=%v", resp)
+	}
+	if rtt != 3*time.Millisecond {
+		t.Fatalf("rtt=%v, want 3ms (2×0.5 propagation + 2 service)", rtt)
+	}
+}
+
+func TestRoundTripAdvancesClock(t *testing.T) {
+	n := newTestNet()
+	n.AddNode("a", geo.Brisbane, nil)
+	n.AddNode("b", geo.Brisbane, func(any) (any, time.Duration) { return nil, 0 })
+	n.SetLink("a", "b", Fixed(time.Millisecond))
+	before := n.Clock().Now()
+	_, rtt, err := n.RoundTrip("a", "b", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Clock().Now().Sub(before); got != rtt {
+		t.Fatalf("clock advanced %v but measured rtt %v", got, rtt)
+	}
+}
+
+func TestRoundTripErrors(t *testing.T) {
+	n := newTestNet()
+	n.AddNode("a", geo.Brisbane, nil)
+	if _, _, err := n.RoundTrip("a", "ghost", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node: %v", err)
+	}
+	n.AddNode("b", geo.Brisbane, func(any) (any, time.Duration) { return nil, 0 })
+	if _, _, err := n.RoundTrip("a", "b", nil); !errors.Is(err, ErrNoLink) {
+		t.Fatalf("no link: %v", err)
+	}
+	n.SetLink("a", "b", Fixed(0))
+	_ = n.SetHandler("b", nil)
+	if _, _, err := n.RoundTrip("a", "b", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if err := n.SetHandler("ghost", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("SetHandler ghost: %v", err)
+	}
+	if _, err := n.Position("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Position ghost: %v", err)
+	}
+}
+
+func TestPacketLoss(t *testing.T) {
+	n := newTestNet()
+	n.AddNode("a", geo.Brisbane, nil)
+	n.AddNode("b", geo.Brisbane, func(any) (any, time.Duration) { return nil, 0 })
+	n.SetLink("a", "b", Fixed(time.Millisecond))
+	n.SetLoss("a", "b", 1.0)
+	if _, _, err := n.RoundTrip("a", "b", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("got %v, want ErrDropped", err)
+	}
+	n.SetLoss("a", "b", 0)
+	if _, _, err := n.RoundTrip("a", "b", nil); err != nil {
+		t.Fatalf("lossless link dropped: %v", err)
+	}
+}
+
+func TestLANLinkUnderOneMillisecond(t *testing.T) {
+	// Paper Table II: every QUT LAN path measures < 1 ms.
+	for _, h := range geo.TableIIHosts() {
+		link := LANLink{
+			DistanceKm: h.DistanceKm,
+			Switches:   4,
+			PerSwitch:  30 * time.Microsecond,
+			Base:       100 * time.Microsecond,
+		}
+		rtt := 2 * link.OneWay(nil)
+		if rtt >= time.Millisecond {
+			t.Errorf("machine %d (%.2f km): RTT %v >= 1ms", h.Machine, h.DistanceKm, rtt)
+		}
+	}
+}
+
+func TestInternetLinkScalesWithDistance(t *testing.T) {
+	short := InternetLink{DistanceKm: 10, LastMile: DefaultLastMile}
+	long := InternetLink{DistanceKm: 3600, LastMile: DefaultLastMile}
+	if long.OneWay(nil) <= short.OneWay(nil) {
+		t.Fatal("Internet latency must grow with distance")
+	}
+	// Brisbane→Perth (3605 km) should land in the paper's ballpark:
+	// Table III reports 82 ms; accept 60–110 ms.
+	rtt := 2 * InternetLink{DistanceKm: 3605, LastMile: DefaultLastMile}.OneWay(nil)
+	if rtt < 60*time.Millisecond || rtt > 110*time.Millisecond {
+		t.Fatalf("Perth RTT %v outside plausible range", rtt)
+	}
+}
+
+func TestPing(t *testing.T) {
+	n := newTestNet()
+	n.AddNode("a", geo.Brisbane, nil)
+	n.AddNode("b", geo.Sydney, nil)
+	n.SetLink("a", "b", Fixed(7*time.Millisecond))
+	rtt, err := n.Ping("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt != 14*time.Millisecond {
+		t.Fatalf("ping rtt=%v", rtt)
+	}
+	if _, err := n.Ping("a", "ghost"); err == nil {
+		t.Fatal("ping to unknown node accepted")
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	clk := vclock.NewVirtual(time.Time{})
+	s := NewScheduler(clk)
+	var order []int
+	base := clk.Now()
+	s.At(base.Add(3*time.Millisecond), func() { order = append(order, 3) })
+	s.At(base.Add(1*time.Millisecond), func() { order = append(order, 1) })
+	s.At(base.Add(2*time.Millisecond), func() { order = append(order, 2) })
+	if ran := s.Run(base.Add(time.Second)); ran != 3 {
+		t.Fatalf("ran %d events", ran)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order=%v", order)
+	}
+	if got := clk.Now().Sub(base); got != 3*time.Millisecond {
+		t.Fatalf("clock at %v after run", got)
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := NewScheduler(nil)
+	at := s.Clock().Now().Add(time.Millisecond)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(at, func() { order = append(order, i) })
+	}
+	s.Drain(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfterAndCascade(t *testing.T) {
+	s := NewScheduler(nil)
+	var fired int
+	s.After(time.Millisecond, func() {
+		fired++
+		s.After(time.Millisecond, func() { fired++ })
+	})
+	if ran := s.Drain(10); ran != 2 {
+		t.Fatalf("drain ran %d", ran)
+	}
+	if fired != 2 {
+		t.Fatalf("fired=%d", fired)
+	}
+	if s.Pending() != 0 {
+		t.Fatal("queue not empty")
+	}
+}
+
+func TestSchedulerDrainCap(t *testing.T) {
+	s := NewScheduler(nil)
+	var reschedule func()
+	reschedule = func() { s.After(time.Millisecond, reschedule) }
+	s.After(time.Millisecond, reschedule)
+	if ran := s.Drain(50); ran != 50 {
+		t.Fatalf("drain cap ran %d", ran)
+	}
+}
+
+func TestSchedulerRunRespectsUntil(t *testing.T) {
+	s := NewScheduler(nil)
+	base := s.Clock().Now()
+	var fired int
+	s.At(base.Add(time.Millisecond), func() { fired++ })
+	s.At(base.Add(time.Hour), func() { fired++ })
+	s.Run(base.Add(time.Minute))
+	if fired != 1 {
+		t.Fatalf("fired=%d, want 1", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatal("future event lost")
+	}
+}

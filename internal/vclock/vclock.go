@@ -1,0 +1,82 @@
+// Package vclock provides the clock abstraction that lets GeoProof's timed
+// distance-bounding phase run both against the real wall clock (for live
+// TCP audits) and against a deterministic virtual clock (for the simulated
+// network substrate that replaces the paper's physical testbed).
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and a way to spend time. Protocol code
+// never calls time.Now directly; it is handed a Clock.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep advances past d: the real clock blocks, the virtual clock
+	// simply jumps forward.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a manually advanced clock. The zero value is not ready; use
+// NewVirtual. Virtual is safe for concurrent use.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock starting at the given instant. A zero
+// start is replaced by a fixed epoch so that durations are always
+// well-defined.
+func NewVirtual(start time.Time) *Virtual {
+	if start.IsZero() {
+		start = time.Date(2012, 6, 18, 0, 0, 0, 0, time.UTC) // ICDCS'12 week
+	}
+	return &Virtual{now: start}
+}
+
+// Now returns the current virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep advances the virtual clock by d. Negative durations are ignored so
+// a buggy caller cannot move time backwards.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now = v.now.Add(d)
+}
+
+// Advance is an explicit alias of Sleep for simulator code, where
+// "advance" reads better than "sleep".
+func (v *Virtual) Advance(d time.Duration) { v.Sleep(d) }
+
+// Set moves the clock to t if t is not before the current instant;
+// attempts to rewind are ignored, preserving monotonicity.
+func (v *Virtual) Set(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.now) {
+		v.now = t
+	}
+}

@@ -1,0 +1,75 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualStartsAtEpochWhenZero(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	if v.Now().IsZero() {
+		t.Fatal("virtual clock started at the zero time")
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	v.Advance(5 * time.Millisecond)
+	if got := v.Now().Sub(start); got != 5*time.Millisecond {
+		t.Fatalf("advanced %v, want 5ms", got)
+	}
+	v.Sleep(3 * time.Millisecond)
+	if got := v.Now().Sub(start); got != 8*time.Millisecond {
+		t.Fatalf("after sleep %v, want 8ms", got)
+	}
+}
+
+func TestVirtualIgnoresNegativeSleep(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	before := v.Now()
+	v.Sleep(-time.Second)
+	if !v.Now().Equal(before) {
+		t.Fatal("negative sleep moved the clock")
+	}
+}
+
+func TestVirtualSetMonotonic(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	base := v.Now()
+	v.Set(base.Add(time.Second))
+	if got := v.Now().Sub(base); got != time.Second {
+		t.Fatalf("Set forward moved %v", got)
+	}
+	v.Set(base) // rewind attempt
+	if got := v.Now().Sub(base); got != time.Second {
+		t.Fatal("Set rewound the clock")
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual(time.Time{})
+	base := v.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v.Advance(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := v.Now().Sub(base); got != 50*time.Millisecond {
+		t.Fatalf("concurrent advances summed to %v, want 50ms", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Fatal("real clock did not move forward")
+	}
+}

@@ -1,0 +1,128 @@
+// Package wire defines the length-prefixed binary framing GeoProof peers
+// speak over TCP: fixed 5-byte header (uint32 length + 1-byte type)
+// followed by the payload. Payload encodings are hand-rolled with
+// encoding/binary — no reflection, no allocation surprises, and malformed
+// input surfaces as typed errors rather than panics.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	TypeSegmentRequest   byte = 1
+	TypeSegmentResponse  byte = 2
+	TypeError            byte = 3
+	TypePing             byte = 4
+	TypePong             byte = 5
+	TypeAuditRequest     byte = 6
+	TypeSignedTranscript byte = 7
+)
+
+// MaxFrame bounds a frame payload (16 MiB): far beyond any legitimate
+// GeoProof message, small enough to stop memory-exhaustion games.
+const MaxFrame = 16 << 20
+
+// Errors reported by the framing layer.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrMalformed     = errors.New("wire: malformed payload")
+	ErrRemote        = errors.New("wire: remote error")
+)
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("read payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// SegmentRequest asks for one segment of a file.
+type SegmentRequest struct {
+	FileID string
+	Index  uint64
+}
+
+// Encode serialises the request.
+func (m SegmentRequest) Encode() []byte {
+	id := []byte(m.FileID)
+	out := make([]byte, 2+len(id)+8)
+	binary.BigEndian.PutUint16(out, uint16(len(id)))
+	copy(out[2:], id)
+	binary.BigEndian.PutUint64(out[2+len(id):], m.Index)
+	return out
+}
+
+// DecodeSegmentRequest parses a SegmentRequest payload.
+func DecodeSegmentRequest(b []byte) (SegmentRequest, error) {
+	if len(b) < 2 {
+		return SegmentRequest{}, fmt.Errorf("%w: short request", ErrMalformed)
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) != 2+n+8 {
+		return SegmentRequest{}, fmt.Errorf("%w: request length %d for id length %d", ErrMalformed, len(b), n)
+	}
+	return SegmentRequest{
+		FileID: string(b[2 : 2+n]),
+		Index:  binary.BigEndian.Uint64(b[2+n:]),
+	}, nil
+}
+
+// SegmentResponse carries the raw segment bytes (payload ‖ tag).
+type SegmentResponse struct {
+	Data []byte
+}
+
+// Encode serialises the response.
+func (m SegmentResponse) Encode() []byte { return m.Data }
+
+// DecodeSegmentResponse parses a SegmentResponse payload.
+func DecodeSegmentResponse(b []byte) (SegmentResponse, error) {
+	return SegmentResponse{Data: b}, nil
+}
+
+// ErrorMessage reports a prover-side failure.
+type ErrorMessage struct {
+	Msg string
+}
+
+// Encode serialises the error.
+func (m ErrorMessage) Encode() []byte { return []byte(m.Msg) }
+
+// DecodeErrorMessage parses an error payload into a wrapped ErrRemote.
+func DecodeErrorMessage(b []byte) error {
+	return fmt.Errorf("%w: %s", ErrRemote, string(b))
+}
