@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -246,6 +247,97 @@ func BenchmarkPORExtract1MiB(b *testing.B) {
 		if !bytes.Equal(out, data) {
 			b.Fatal("extract mismatch")
 		}
+	}
+}
+
+// benchEncoders returns the same encoder at Concurrency 1 and NumCPU, for
+// the sequential-vs-parallel POR pipeline comparisons.
+func benchEncoders() (seq, par *por.Encoder) {
+	e := por.NewEncoder([]byte("bench-master"))
+	return e.WithConcurrency(1), e.WithConcurrency(runtime.NumCPU())
+}
+
+// BenchmarkPOREncode4MiB compares the full setup pipeline at Concurrency 1
+// vs NumCPU on a 4 MiB file and asserts the outputs are byte-identical —
+// the headline number for the concurrency layer.
+func BenchmarkPOREncode4MiB(b *testing.B) {
+	seq, par := benchEncoders()
+	data := benchData(4 << 20)
+	want, err := seq.Encode("bench", data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	got, err := par.Encode("bench", data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !bytes.Equal(want.Data, got.Data) {
+		b.Fatal("parallel encode is not byte-identical to sequential")
+	}
+	for name, enc := range map[string]*por.Encoder{"seq": seq, "par": par} {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.Encode("bench", data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPORExtract4MiB is the recovery-side counterpart of
+// BenchmarkPOREncode4MiB.
+func BenchmarkPORExtract4MiB(b *testing.B) {
+	seq, par := benchEncoders()
+	data := benchData(4 << 20)
+	ef, err := seq.Encode("bench", data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, enc := range map[string]*por.Encoder{"seq": seq, "par": par} {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				out, err := enc.Extract("bench", ef.Layout, ef.Data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !bytes.Equal(out, data) {
+					b.Fatal("extract mismatch")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPORVerifyResponse1000 measures TPA-side batch tag verification
+// of a 1000-round audit, sequential vs parallel.
+func BenchmarkPORVerifyResponse1000(b *testing.B) {
+	seq, par := benchEncoders()
+	data := benchData(4 << 20)
+	ef, err := seq.Encode("bench", data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := por.NewStore(ef)
+	ch, err := seq.NewChallenge("bench", ef.Layout, []byte("bench-nonce"), 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := store.Respond(ch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, enc := range map[string]*por.Encoder{"seq": seq, "par": par} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := enc.VerifyResponse(ef.Layout, ch, resp)
+				if err != nil || ok != 1000 {
+					b.Fatalf("ok=%d err=%v", ok, err)
+				}
+			}
+		})
 	}
 }
 

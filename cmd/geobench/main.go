@@ -26,7 +26,9 @@ func main() {
 func run() error {
 	exp := flag.Int("exp", 0, "experiment number 1-10 (0 = all)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("j", 0, "POR pipeline concurrency (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	experiments.Concurrency = *workers
 
 	type gen func() (experiments.Table, error)
 	gens := map[int]gen{

@@ -32,6 +32,7 @@ func run() error {
 	out := flag.String("out", "", "encoded output (default <in>.geo)")
 	metaPath := flag.String("meta", "", "metadata sidecar (default <in>.meta.json)")
 	fileID := flag.String("id", "", "file identifier (default input basename)")
+	workers := flag.Int("j", 0, "setup pipeline concurrency (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	if *in == "" {
@@ -55,7 +56,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	enc := por.NewEncoder(master)
+	enc := por.NewEncoder(master).WithConcurrency(*workers)
 	ef, err := enc.Encode(*fileID, data)
 	if err != nil {
 		return fmt.Errorf("encode: %w", err)

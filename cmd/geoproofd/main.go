@@ -44,6 +44,7 @@ func run() error {
 	addr := flag.String("addr", ":9341", "listen address")
 	diskName := flag.String("disk", "wd2500jd", "disk model for simulated look-up latency")
 	simulate := flag.Bool("simulate", false, "sleep the modelled look-up latency per request")
+	workers := flag.Int("j", 0, "max concurrently served verifier connections (0 = unlimited)")
 	flag.Parse()
 
 	if *file == "" || *metaPath == "" {
@@ -80,11 +81,12 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	fmt.Printf("serving %q (%d segments, disk %s, simulate=%v) on %s\n",
-		m.FileID, layout.Segments, model.Name, *simulate, lis.Addr())
+	fmt.Printf("serving %q (%d segments, disk %s, simulate=%v, concurrency=%d) on %s\n",
+		m.FileID, layout.Segments, model.Name, *simulate, *workers, lis.Addr())
 	srv := &core.ProverServer{
 		Provider:            &cloud.HonestProvider{Site: site},
 		SimulateServiceTime: *simulate,
+		Concurrency:         *workers,
 	}
 	return srv.Serve(lis)
 }

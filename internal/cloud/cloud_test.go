@@ -192,3 +192,39 @@ func TestSLA(t *testing.T) {
 		t.Fatal("Perth is 3600 km outside a 100 km Brisbane SLA")
 	}
 }
+
+func TestReadSegmentsBatch(t *testing.T) {
+	_, ef := prepared(t)
+	site := NewSite(brisbaneDC(), 1)
+	site.Store(ef.FileID, ef.Layout, ef.Data)
+
+	indices := []int64{0, 5, 1, ef.Layout.Segments - 1, 5}
+	for _, workers := range []int{1, 0, 4} {
+		segs, lats, err := site.ReadSegments(ef.FileID, indices, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(segs) != len(indices) || len(lats) != len(indices) {
+			t.Fatalf("workers=%d: got %d segs, %d lats", workers, len(segs), len(lats))
+		}
+		for j, i := range indices {
+			want, wantLat, err := site.ReadSegment(ef.FileID, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(segs[j], want) {
+				t.Fatalf("workers=%d: segment %d content mismatch", workers, i)
+			}
+			if lats[j] != wantLat {
+				t.Fatalf("workers=%d: segment %d latency %v, want %v", workers, i, lats[j], wantLat)
+			}
+		}
+	}
+
+	if _, _, err := site.ReadSegments(ef.FileID, []int64{0, ef.Layout.Segments}, 4); !errors.Is(err, ErrBadIndex) {
+		t.Fatalf("out-of-range batch: %v", err)
+	}
+	if _, _, err := site.ReadSegments("nope", []int64{0}, 4); !errors.Is(err, ErrNoSuchFile) {
+		t.Fatalf("missing file batch: %v", err)
+	}
+}

@@ -19,10 +19,14 @@ import (
 // ProverServer serves segment requests from a cloud.Provider over a
 // listener. SimulateServiceTime controls whether the provider's modelled
 // service latency is actually slept (true for realistic end-to-end timing
-// demos, false to serve at line rate).
+// demos, false to serve at line rate). Concurrency caps how many
+// connections are served simultaneously (≤ 0 = unlimited): excess
+// connections queue at the accept loop rather than overcommitting the
+// disk, matching the concurrency knob of the rest of the stack.
 type ProverServer struct {
 	Provider            cloud.Provider
 	SimulateServiceTime bool
+	Concurrency         int
 
 	mu     sync.Mutex
 	closed bool
@@ -35,6 +39,10 @@ type ProverServer struct {
 func (s *ProverServer) Serve(lis net.Listener) error {
 	s.mu.Lock()
 	s.lis = lis
+	var sem chan struct{}
+	if s.Concurrency > 0 {
+		sem = make(chan struct{}, s.Concurrency)
+	}
 	s.mu.Unlock()
 	for {
 		conn, err := lis.Accept()
@@ -42,9 +50,15 @@ func (s *ProverServer) Serve(lis net.Listener) error {
 			s.wg.Wait()
 			return err
 		}
+		if cap(sem) > 0 {
+			sem <- struct{}{}
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if cap(sem) > 0 {
+				defer func() { <-sem }()
+			}
 			s.handle(conn)
 		}()
 	}

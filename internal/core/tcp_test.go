@@ -221,3 +221,41 @@ func TestProverServerCloseIdempotent(t *testing.T) {
 		t.Fatalf("double close: %v", err)
 	}
 }
+
+func TestProverServerConcurrencyCapAndNegative(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	// Concurrency < 0 is documented as unlimited and must not panic;
+	// a small positive cap must still serve every connection (queued).
+	for _, conc := range []int{-1, 1} {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &ProverServer{Provider: &cloud.HonestProvider{Site: site}, Concurrency: conc}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(lis)
+		}()
+		errc := make(chan error, 3)
+		for i := 0; i < 3; i++ {
+			go func() {
+				conn, err := DialProver(lis.Addr().String(), time.Second)
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer conn.Close()
+				_, err = conn.GetSegment(ef.FileID, 0)
+				errc <- err
+			}()
+		}
+		for i := 0; i < 3; i++ {
+			if err := <-errc; err != nil {
+				t.Fatalf("conc=%d: connection %d: %v", conc, i, err)
+			}
+		}
+		_ = srv.Close()
+		<-done
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/crypt"
 	"repro/internal/geo"
+	"repro/internal/parallel"
 	"repro/internal/por"
 )
 
@@ -156,24 +157,37 @@ func (a *TPA) VerifyAudit(req AuditRequest, layout blockfile.Layout, st SignedTr
 		rep.Reasons = append(rep.Reasons, "challenge indices do not match nonce derivation")
 	}
 
-	// 3. Segment MACs; 4. timing.
+	// 3. Segment MACs, batched so keys are derived once and the checks
+	// fan out over the encoder's worker pool; 4. timing.
 	var sumRTT time.Duration
 	timed := 0
+	indices := make([]int64, 0, len(tr.Rounds))
+	segs := make([][]byte, 0, len(tr.Rounds))
 	for _, r := range tr.Rounds {
 		if r.Failed {
 			rep.FailedRounds++
 			continue
 		}
-		if err := a.enc.VerifySegment(tr.FileID, layout, int64(r.Index), r.Segment); err != nil {
-			rep.SegmentsBad++
-		} else {
-			rep.SegmentsOK++
-		}
+		indices = append(indices, int64(r.Index))
+		segs = append(segs, r.Segment)
 		if r.RTT > rep.MaxRTT {
 			rep.MaxRTT = r.RTT
 		}
 		sumRTT += r.RTT
 		timed++
+	}
+	verdicts, verr := a.enc.VerifySegments(tr.FileID, layout, indices, segs)
+	if verr != nil {
+		rep.SegmentsBad = timed // setup failure: no tag can be trusted
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf("segment verification unavailable: %v", verr))
+	} else {
+		for _, v := range verdicts {
+			if v != nil {
+				rep.SegmentsBad++
+			} else {
+				rep.SegmentsOK++
+			}
+		}
 	}
 	if timed > 0 {
 		rep.MeanRTT = sumRTT / time.Duration(timed)
@@ -208,6 +222,31 @@ func (a *TPA) VerifyAudit(req AuditRequest, layout blockfile.Layout, st SignedTr
 		NonceEqual(tr.Nonce, req.Nonce) &&
 		rep.FailedRounds <= a.policy.MaxFailedRounds
 	return rep
+}
+
+// AuditJob bundles one audit's request, layout and signed transcript for
+// batch verification.
+type AuditJob struct {
+	Req    AuditRequest
+	Layout blockfile.Layout
+	Signed SignedTranscript
+}
+
+// VerifyAudits verifies many transcripts concurrently — one TPA auditing
+// many files or provers in a single sweep. Reports are returned in job
+// order. The fan-out width follows the encoder's Concurrency setting and
+// is spent entirely at the job level: each job's segment checks run
+// sequentially so the total worker count stays ≈ Concurrency instead of
+// squaring it.
+func (a *TPA) VerifyAudits(jobs []AuditJob) []Report {
+	inner := *a
+	inner.enc = a.enc.WithConcurrency(1)
+	reports := make([]Report, len(jobs))
+	parallel.For(a.enc.Concurrency(), len(jobs), func(i int) error {
+		reports[i] = inner.VerifyAudit(jobs[i].Req, jobs[i].Layout, jobs[i].Signed)
+		return nil
+	})
+	return reports
 }
 
 // MaxUndetectableRelayKm answers the paper's relay-attack question

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+// TestVerifyAuditsBatch drives several independent audits of the same
+// deployment and checks the concurrent batch verdicts match one-at-a-time
+// VerifyAudit calls field for field.
+func TestVerifyAuditsBatch(t *testing.T) {
+	_, ef := encodeTestFile(t)
+	site := honestSite(t, ef)
+	fx := newFixture(t, &cloud.HonestProvider{Site: site})
+
+	const nAudits = 8
+	jobs := make([]AuditJob, 0, nAudits)
+	for i := 0; i < nAudits; i++ {
+		req, err := fx.tpa.NewRequest(testFileID, fx.ef.Layout, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := fx.verifier.RunAudit(req, fx.conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, AuditJob{Req: req, Layout: fx.ef.Layout, Signed: st})
+	}
+	// Corrupt one transcript's segment so the batch holds mixed verdicts.
+	jobs[3].Signed.Transcript.Rounds[0].Segment[0] ^= 0xFF
+
+	reports := fx.tpa.VerifyAudits(jobs)
+	if len(reports) != nAudits {
+		t.Fatalf("got %d reports for %d jobs", len(reports), nAudits)
+	}
+	for i, job := range jobs {
+		want := fx.tpa.VerifyAudit(job.Req, job.Layout, job.Signed)
+		got := reports[i]
+		if got.Accepted != want.Accepted ||
+			got.SegmentsOK != want.SegmentsOK ||
+			got.SegmentsBad != want.SegmentsBad ||
+			got.SignatureOK != want.SignatureOK ||
+			got.MACsOK != want.MACsOK {
+			t.Fatalf("job %d: batch report %+v differs from sequential %+v", i, got, want)
+		}
+	}
+	if reports[3].Accepted {
+		t.Fatal("tampered transcript accepted")
+	}
+	for i, rep := range reports {
+		if i != 3 && !rep.Accepted {
+			t.Fatalf("honest audit %d rejected: %s", i, rep.Reason())
+		}
+	}
+}

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/parallel"
 )
 
 // Errors reported by this package.
@@ -74,19 +76,66 @@ func NewMasterKey() ([]byte, error) {
 // which the POR setup flow guarantees because DeriveKeys binds the key to
 // the file ID.
 func EncryptCTR(key []byte, fileID string, data []byte) error {
+	return EncryptCTRAt(key, fileID, data, 0)
+}
+
+// ErrBadOffset reports a keystream offset that is not block aligned.
+var ErrBadOffset = errors.New("crypt: CTR offset must be a non-negative multiple of the AES block size")
+
+// EncryptCTRAt applies the same keystream as EncryptCTR but starting at
+// byte position offset of the logical plaintext, which must be a multiple
+// of the AES block size. Processing shard data[lo:hi] with offset lo for
+// every shard of a buffer yields bytes identical to one EncryptCTR pass
+// over the whole buffer — the property the parallel POR pipeline relies
+// on to split bulk encryption across workers.
+func EncryptCTRAt(key []byte, fileID string, data []byte, offset int64) error {
 	switch len(key) {
 	case 16, 24, 32:
 	default:
 		return fmt.Errorf("%w: %d", ErrBadKeyLen, len(key))
+	}
+	if offset < 0 || offset%aes.BlockSize != 0 {
+		return fmt.Errorf("%w: %d", ErrBadOffset, offset)
 	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return fmt.Errorf("new cipher: %w", err)
 	}
 	ivFull := sha256.Sum256([]byte("geoproof/iv/" + fileID))
-	stream := cipher.NewCTR(block, ivFull[:aes.BlockSize])
+	iv := ivFull[:aes.BlockSize]
+	addToCounter(iv, uint64(offset)/aes.BlockSize)
+	stream := cipher.NewCTR(block, iv)
 	stream.XORKeyStream(data, data)
 	return nil
+}
+
+// EncryptCTRParallel applies the EncryptCTR keystream to data using up to
+// workers contiguous shards, each seeking its own counter offset. The
+// result is byte-identical to EncryptCTR; workers ≤ 1 degenerates to the
+// single-pass sequential path.
+func EncryptCTRParallel(workers int, key []byte, fileID string, data []byte) error {
+	nBlocks := (len(data) + aes.BlockSize - 1) / aes.BlockSize
+	if workers <= 1 || nBlocks <= 1 {
+		return EncryptCTRAt(key, fileID, data, 0)
+	}
+	return parallel.ForRange(workers, nBlocks, func(lo, hi int) error {
+		loB := lo * aes.BlockSize
+		hiB := hi * aes.BlockSize
+		if hiB > len(data) {
+			hiB = len(data)
+		}
+		return EncryptCTRAt(key, fileID, data[loB:hiB], int64(loB))
+	})
+}
+
+// addToCounter adds n to a big-endian counter in place, with carry,
+// mirroring how cipher.NewCTR advances its counter block.
+func addToCounter(ctr []byte, n uint64) {
+	for i := len(ctr) - 1; i >= 0 && n > 0; i-- {
+		sum := uint64(ctr[i]) + n&0xFF
+		ctr[i] = byte(sum)
+		n = n>>8 + sum>>8
+	}
 }
 
 // Tagger computes truncated HMAC-SHA256 segment tags

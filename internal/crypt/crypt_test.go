@@ -3,6 +3,7 @@ package crypt
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -237,5 +238,61 @@ func TestTagDeterministicProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEncryptCTRAtMatchesWholeBuffer(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 32)
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{16, 160, 4096, 16 * 1000} {
+		plain := make([]byte, n)
+		rng.Read(plain)
+		whole := append([]byte(nil), plain...)
+		if err := EncryptCTR(key, "f", whole); err != nil {
+			t.Fatal(err)
+		}
+		// Re-encrypt the same plaintext in irregular block-aligned shards.
+		sharded := append([]byte(nil), plain...)
+		for lo := 0; lo < n; {
+			hi := lo + 16*(1+rng.Intn(8))
+			if hi > n {
+				hi = n
+			}
+			if err := EncryptCTRAt(key, "f", sharded[lo:hi], int64(lo)); err != nil {
+				t.Fatal(err)
+			}
+			lo = hi
+		}
+		if !bytes.Equal(whole, sharded) {
+			t.Fatalf("n=%d: sharded CTR differs from whole-buffer CTR", n)
+		}
+	}
+}
+
+func TestEncryptCTRAtRejectsBadOffsets(t *testing.T) {
+	key := bytes.Repeat([]byte{7}, 16)
+	buf := make([]byte, 32)
+	for _, off := range []int64{-16, 1, 15, 17} {
+		if err := EncryptCTRAt(key, "f", buf, off); !errors.Is(err, ErrBadOffset) {
+			t.Fatalf("offset %d: got %v, want ErrBadOffset", off, err)
+		}
+	}
+}
+
+func TestAddToCounterCarries(t *testing.T) {
+	ctr := []byte{0x00, 0x00, 0xFF, 0xFF}
+	addToCounter(ctr, 1)
+	if !bytes.Equal(ctr, []byte{0x00, 0x01, 0x00, 0x00}) {
+		t.Fatalf("carry failed: % x", ctr)
+	}
+	ctr = []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	addToCounter(ctr, 1)
+	if !bytes.Equal(ctr, []byte{0x00, 0x00, 0x00, 0x00}) {
+		t.Fatalf("wraparound failed: % x", ctr)
+	}
+	ctr = []byte{0x00, 0x00, 0x00, 0x00}
+	addToCounter(ctr, 0x01020304)
+	if !bytes.Equal(ctr, []byte{0x01, 0x02, 0x03, 0x04}) {
+		t.Fatalf("multi-byte add failed: % x", ctr)
 	}
 }

@@ -11,6 +11,7 @@ package disk
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -90,9 +91,12 @@ func (m Model) String() string {
 // SimDisk is a simulated storage device: a byte store whose reads cost
 // LookupLatency plus optional uniform jitter and a simple queueing penalty
 // proportional to outstanding load. It substitutes for the physical drives
-// in the paper's data-centre scenarios.
+// in the paper's data-centre scenarios. All methods are safe for
+// concurrent use: one disk may serve many prover connections at once.
 type SimDisk struct {
-	model   Model
+	model Model
+
+	mu      sync.Mutex
 	data    []byte
 	jitter  time.Duration
 	queue   time.Duration // extra delay per read under load
@@ -117,14 +121,24 @@ func NewSimDisk(model Model, data []byte, jitter time.Duration, seed int64) *Sim
 func (d *SimDisk) Model() Model { return d.model }
 
 // Size returns the stored byte count.
-func (d *SimDisk) Size() int { return len(d.data) }
+func (d *SimDisk) Size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.data)
+}
 
 // SetQueuePenalty sets the additional latency charged per outstanding
 // request; used by the load-sensitivity ablation.
-func (d *SimDisk) SetQueuePenalty(perRequest time.Duration) { d.queue = perRequest }
+func (d *SimDisk) SetQueuePenalty(perRequest time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.queue = perRequest
+}
 
 // AddPending registers load for the queueing model.
 func (d *SimDisk) AddPending(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.pending += n
 	if d.pending < 0 {
 		d.pending = 0
@@ -134,6 +148,8 @@ func (d *SimDisk) AddPending(n int) {
 // ReadAt returns length bytes from offset together with the simulated
 // look-up latency for the access.
 func (d *SimDisk) ReadAt(offset, length int) ([]byte, time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if offset < 0 || length < 0 || offset+length > len(d.data) {
 		return nil, 0, fmt.Errorf("disk: read [%d, %d) outside store of %d bytes", offset, offset+length, len(d.data))
 	}
@@ -151,6 +167,8 @@ func (d *SimDisk) ReadAt(offset, length int) ([]byte, time.Duration, error) {
 // modelling adversarial or accidental damage. It returns an error when the
 // range is out of bounds.
 func (d *SimDisk) Corrupt(offset, length int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if offset < 0 || length < 0 || offset+length > len(d.data) {
 		return fmt.Errorf("disk: corrupt [%d, %d) outside store of %d bytes", offset, offset+length, len(d.data))
 	}

@@ -36,7 +36,7 @@ func E4Setup() (Table, error) {
 	)
 
 	// Measured: encode 1 MiB for real and compare the realised ratio.
-	enc := por.NewEncoder([]byte("experiment-e4-master"))
+	enc := por.NewEncoder([]byte("experiment-e4-master")).WithConcurrency(Concurrency)
 	data := make([]byte, 1<<20)
 	rand.New(rand.NewSource(4)).Read(data)
 	ef, err := enc.Encode("e4-file", data)
@@ -64,7 +64,7 @@ func E5Detection(seed int64) (Table, error) {
 	}
 	// Monte-Carlo on a small file with the fast test geometry.
 	params := blockfile.Params{BlockSize: 4, ChunkData: 11, ChunkTotal: 15, SegmentBlocks: 2, TagBits: 32}
-	enc := por.NewEncoder([]byte("experiment-e5-master")).WithParams(params)
+	enc := por.NewEncoder([]byte("experiment-e5-master")).WithParams(params).WithConcurrency(Concurrency)
 	rng := rand.New(rand.NewSource(seed))
 	data := make([]byte, 40000)
 	rng.Read(data)

@@ -11,6 +11,11 @@ import (
 	"strings"
 )
 
+// Concurrency caps the POR engine's worker fan-out in every experiment
+// that encodes a file: 0 (the default) lets each encoder use all CPUs,
+// 1 forces the exact sequential pipeline. cmd/geobench exposes it as -j.
+var Concurrency int
+
 // Table is a rendered experiment result.
 type Table struct {
 	ID     string

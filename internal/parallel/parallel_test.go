@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d", got)
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		err := For(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSingle(t *testing.T) {
+	if err := For(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	calls := 0
+	if err := For(4, 1, func(i int) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("n=1: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("boom-3")
+	for _, workers := range []int{1, 4, 16} {
+		err := For(workers, 64, func(i int) error {
+			if i == 3 {
+				return wantErr
+			}
+			if i > 10 && i%7 == 0 {
+				return fmt.Errorf("boom-%d", i)
+			}
+			return nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: got %v, want boom-3", workers, err)
+		}
+	}
+}
+
+func TestForRangeCoversExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 5, 64} {
+		for _, n := range []int{0, 1, 2, 7, 100, 101} {
+			covered := make([]atomic.Int32, n)
+			err := ForRange(workers, n, func(lo, hi int) error {
+				if lo >= hi {
+					return fmt.Errorf("empty shard [%d,%d)", lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := range covered {
+				if got := covered[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForRangeError(t *testing.T) {
+	wantErr := errors.New("shard failed")
+	err := ForRange(4, 100, func(lo, hi int) error {
+		if lo == 0 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDo(t *testing.T) {
+	var a, b atomic.Bool
+	err := Do(2,
+		func() error { a.Store(true); return nil },
+		func() error { b.Store(true); return nil },
+	)
+	if err != nil || !a.Load() || !b.Load() {
+		t.Fatalf("a=%v b=%v err=%v", a.Load(), b.Load(), err)
+	}
+	wantErr := errors.New("first")
+	err = Do(2,
+		func() error { return wantErr },
+		func() error { return errors.New("second") },
+	)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want first task's error", err)
+	}
+}

@@ -80,8 +80,9 @@ func (s *Store) Respond(ch Challenge) (Response, error) {
 }
 
 // VerifyResponse checks every returned segment tag. It returns the number
-// of segments that verified and the first failure (nil when all pass), so
-// callers can report partial corruption.
+// of segments that verified and the first failure in challenge order (nil
+// when all pass), so callers can report partial corruption. The tag
+// checks run on the encoder's worker pool via VerifySegments.
 func (e *Encoder) VerifyResponse(layout blockfile.Layout, ch Challenge, resp Response) (int, error) {
 	if resp.FileID != ch.FileID {
 		return 0, fmt.Errorf("por: response for %q against challenge for %q", resp.FileID, ch.FileID)
@@ -89,12 +90,20 @@ func (e *Encoder) VerifyResponse(layout blockfile.Layout, ch Challenge, resp Res
 	if len(resp.Segments) != len(ch.Indices) {
 		return 0, fmt.Errorf("%w: %d segments for %d indices", ErrBadEncoding, len(resp.Segments), len(ch.Indices))
 	}
+	indices := make([]int64, len(ch.Indices))
+	for j, i := range ch.Indices {
+		indices[j] = int64(i)
+	}
+	verdicts, err := e.VerifySegments(ch.FileID, layout, indices, resp.Segments)
+	if err != nil {
+		return 0, err
+	}
 	ok := 0
 	var firstErr error
-	for j, i := range ch.Indices {
-		if err := e.VerifySegment(ch.FileID, layout, int64(i), resp.Segments[j]); err != nil {
+	for j, verr := range verdicts {
+		if verr != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("segment %d: %w", i, err)
+				firstErr = fmt.Errorf("segment %d: %w", ch.Indices[j], verr)
 			}
 			continue
 		}

@@ -14,6 +14,18 @@
 // segment‖tag; anyone holding the MAC key verifies
 // τ_i = MAC_K′(S_i, i, fid). Recovery (Extract) inverts the pipeline and
 // uses the MAC verdicts as erasure hints for the Reed-Solomon decoder.
+//
+// # Concurrency
+//
+// Every stage of the pipeline is embarrassingly parallel: chunks are
+// error-corrected independently, the CTR keystream can be applied per
+// shard, the permutation scatters blocks to disjoint destinations, and
+// segments are tagged (and verified) independently. The Encoder therefore
+// carries a Concurrency knob, set with WithConcurrency: 0 (the default)
+// fans each stage out over runtime.NumCPU() workers, 1 runs the exact
+// sequential pipeline on the calling goroutine, and any other value caps
+// the worker count. Output is byte-identical at every setting — the knob
+// trades CPU for wall clock, never determinism.
 package por
 
 import (
@@ -22,6 +34,7 @@ import (
 
 	"repro/internal/blockfile"
 	"repro/internal/crypt"
+	"repro/internal/parallel"
 	"repro/internal/prp"
 	"repro/internal/reedsolomon"
 )
@@ -48,10 +61,11 @@ type EncodedFile struct {
 type Encoder struct {
 	master []byte
 	params blockfile.Params
+	conc   int // 0 = runtime.NumCPU(), 1 = sequential, else worker cap
 }
 
-// NewEncoder creates an encoder with the paper's default parameters; use
-// WithParams to override.
+// NewEncoder creates an encoder with the paper's default parameters and
+// automatic concurrency; use WithParams and WithConcurrency to override.
 func NewEncoder(master []byte) *Encoder {
 	m := make([]byte, len(master))
 	copy(m, master)
@@ -60,8 +74,26 @@ func NewEncoder(master []byte) *Encoder {
 
 // WithParams returns a copy of the encoder using custom layout parameters.
 func (e *Encoder) WithParams(p blockfile.Params) *Encoder {
-	return &Encoder{master: e.master, params: p}
+	m := make([]byte, len(e.master))
+	copy(m, e.master)
+	return &Encoder{master: m, params: p, conc: e.conc}
 }
+
+// WithConcurrency returns a copy of the encoder whose pipeline stages fan
+// out over at most n workers. n ≤ 0 selects runtime.NumCPU(); n = 1 runs
+// every stage sequentially on the calling goroutine. The encoded bytes
+// are identical for every setting.
+func (e *Encoder) WithConcurrency(n int) *Encoder {
+	m := make([]byte, len(e.master))
+	copy(m, e.master)
+	if n < 0 {
+		n = 0
+	}
+	return &Encoder{master: m, params: e.params, conc: n}
+}
+
+// Concurrency returns the effective worker count the pipeline will use.
+func (e *Encoder) Concurrency() int { return parallel.Resolve(e.conc) }
 
 // Params returns the layout parameters in use.
 func (e *Encoder) Params() blockfile.Params { return e.params }
@@ -99,43 +131,68 @@ func (e *Encoder) Encode(fileID string, file []byte) (*EncodedFile, error) {
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	bs := layout.BlockSize
+	workers := e.Concurrency()
 
 	// Steps 1-2: pad to chunk boundary and error-correct each chunk.
+	// Chunks are independent codewords, so they encode in parallel.
 	padded := layout.Pad(file)
 	ecc := make([]byte, layout.TotalBlocks*int64(bs)) // includes segment padding blocks
 	chunkIn := layout.ChunkData * bs
 	chunkOut := layout.ChunkTotal * bs
-	for c := int64(0); c < layout.Chunks; c++ {
+	err = parallel.For(workers, int(layout.Chunks), func(ci int) error {
+		c := int64(ci)
 		enc, err := bc.EncodeChunk(padded[c*int64(chunkIn) : (c+1)*int64(chunkIn)])
 		if err != nil {
-			return nil, fmt.Errorf("ecc chunk %d: %w", c, err)
+			return fmt.Errorf("ecc chunk %d: %w", c, err)
 		}
 		copy(ecc[c*int64(chunkOut):], enc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Step 3: encrypt F′ → F″ (CTR keystream over the whole buffer,
-	// including the zero segment-padding blocks so nothing leaks).
-	if err := crypt.EncryptCTR(keys.Enc, fileID, ecc); err != nil {
+	// including the zero segment-padding blocks so nothing leaks). The
+	// keystream is applied in counter-seeked shards.
+	if err := crypt.EncryptCTRParallel(workers, keys.Enc, fileID, ecc); err != nil {
 		return nil, fmt.Errorf("encrypt: %w", err)
 	}
 
-	// Step 4: permute blocks F″ → F‴.
+	// Step 4: permute blocks F″ → F‴. The permutation is a bijection, so
+	// concurrent shards write disjoint destination blocks.
 	permuted := make([]byte, len(ecc))
-	for b := int64(0); b < layout.TotalBlocks; b++ {
-		dst := int64(perm.Index(uint64(b)))
-		copy(permuted[dst*int64(bs):(dst+1)*int64(bs)], ecc[b*int64(bs):(b+1)*int64(bs)])
+	err = parallel.ForRange(workers, int(layout.TotalBlocks), func(lo, hi int) error {
+		dsts := make([]uint64, hi-lo)
+		perm.IndexBatch(uint64(lo), dsts)
+		for i, d := range dsts {
+			b := int64(lo + i)
+			dst := int64(d)
+			copy(permuted[dst*int64(bs):(dst+1)*int64(bs)], ecc[b*int64(bs):(b+1)*int64(bs)])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	// Step 5: segment and embed tags F‴ → F̃.
+	// Step 5: segment and embed tags F‴ → F̃, one shard of segments per
+	// worker (Tagger is safe for concurrent use).
 	segSize := layout.SegmentSize()
 	segBytes := layout.SegmentBlocks * bs
 	out := make([]byte, layout.Segments*int64(segSize))
-	for s := int64(0); s < layout.Segments; s++ {
-		seg := permuted[s*int64(segBytes) : (s+1)*int64(segBytes)]
-		off := s * int64(segSize)
-		copy(out[off:], seg)
-		tag := tagger.Tag(seg, uint64(s), fileID)
-		copy(out[off+int64(segBytes):], tag)
+	err = parallel.ForRange(workers, int(layout.Segments), func(lo, hi int) error {
+		for s := int64(lo); s < int64(hi); s++ {
+			seg := permuted[s*int64(segBytes) : (s+1)*int64(segBytes)]
+			off := s * int64(segSize)
+			copy(out[off:], seg)
+			tag := tagger.Tag(seg, uint64(s), fileID)
+			copy(out[off+int64(segBytes):], tag)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return &EncodedFile{FileID: fileID, Layout: layout, Data: out}, nil
 }
@@ -162,6 +219,37 @@ func (e *Encoder) VerifySegment(fileID string, layout blockfile.Layout, i int64,
 	return nil
 }
 
+// VerifySegments checks many (index, segment‖tag) pairs at once: keys are
+// derived a single time and the MAC checks fan out over the encoder's
+// workers. The returned slice is parallel to indices — nil for a segment
+// that verifies, otherwise the error VerifySegment would have returned.
+// The second return value reports setup failures only (bad parameters).
+func (e *Encoder) VerifySegments(fileID string, layout blockfile.Layout, indices []int64, segs [][]byte) ([]error, error) {
+	if len(indices) != len(segs) {
+		return nil, fmt.Errorf("%w: %d indices for %d segments", ErrBadEncoding, len(indices), len(segs))
+	}
+	keys := crypt.DeriveKeys(e.master, fileID)
+	tagger, err := crypt.NewTagger(keys.MAC, layout.TagBits)
+	if err != nil {
+		return nil, err
+	}
+	segBytes := layout.SegmentBlocks * layout.BlockSize
+	verdicts := make([]error, len(indices))
+	parallel.For(e.Concurrency(), len(indices), func(j int) error {
+		i, seg := indices[j], segs[j]
+		switch {
+		case i < 0 || i >= layout.Segments:
+			verdicts[j] = fmt.Errorf("%w: %d of %d", ErrBadSegment, i, layout.Segments)
+		case len(seg) != layout.SegmentSize():
+			verdicts[j] = fmt.Errorf("%w: segment is %d bytes, want %d", ErrBadEncoding, len(seg), layout.SegmentSize())
+		case !tagger.VerifyTag(seg[:segBytes], uint64(i), fileID, seg[segBytes:]):
+			verdicts[j] = ErrTagMismatch
+		}
+		return nil
+	})
+	return verdicts, nil
+}
+
 // Extract recovers the original file from (possibly damaged) encoded
 // bytes. Segments whose tags fail verification are treated as suspect and
 // their blocks become Reed-Solomon erasures, which doubles the correction
@@ -177,44 +265,58 @@ func (e *Encoder) Extract(fileID string, layout blockfile.Layout, data []byte) (
 	bs := layout.BlockSize
 	segSize := layout.SegmentSize()
 	segBytes := layout.SegmentBlocks * bs
+	workers := e.Concurrency()
 
-	// Strip tags, remembering which segments are suspect.
+	// Strip tags, remembering which segments are suspect. Each worker
+	// owns a contiguous run of segments, so writes never overlap.
 	permuted := make([]byte, layout.TotalBlocks*int64(bs))
 	suspectSeg := make([]bool, layout.Segments)
-	for s := int64(0); s < layout.Segments; s++ {
-		off := s * int64(segSize)
-		seg := data[off : off+int64(segBytes)]
-		tag := data[off+int64(segBytes) : off+int64(segSize)]
-		if !tagger.VerifyTag(seg, uint64(s), fileID, tag) {
-			suspectSeg[s] = true
+	parallel.ForRange(workers, int(layout.Segments), func(lo, hi int) error {
+		for s := int64(lo); s < int64(hi); s++ {
+			off := s * int64(segSize)
+			seg := data[off : off+int64(segBytes)]
+			tag := data[off+int64(segBytes) : off+int64(segSize)]
+			if !tagger.VerifyTag(seg, uint64(s), fileID, tag) {
+				suspectSeg[s] = true
+			}
+			copy(permuted[s*int64(segBytes):], seg)
 		}
-		copy(permuted[s*int64(segBytes):], seg)
-	}
+		return nil
+	})
 
 	// Un-permute F‴ → F″ and propagate suspicion to block granularity.
 	ecc := make([]byte, len(permuted))
 	suspectBlock := make([]bool, layout.TotalBlocks)
-	for b := int64(0); b < layout.TotalBlocks; b++ {
-		src := int64(perm.Index(uint64(b))) // block b was stored at position src
-		copy(ecc[b*int64(bs):(b+1)*int64(bs)], permuted[src*int64(bs):(src+1)*int64(bs)])
-		if suspectSeg[src/int64(layout.SegmentBlocks)] {
-			suspectBlock[b] = true
+	parallel.ForRange(workers, int(layout.TotalBlocks), func(lo, hi int) error {
+		srcs := make([]uint64, hi-lo)
+		perm.IndexBatch(uint64(lo), srcs)
+		for i, s := range srcs {
+			b := int64(lo + i)
+			src := int64(s) // block b was stored at position src
+			copy(ecc[b*int64(bs):(b+1)*int64(bs)], permuted[src*int64(bs):(src+1)*int64(bs)])
+			if suspectSeg[src/int64(layout.SegmentBlocks)] {
+				suspectBlock[b] = true
+			}
 		}
-	}
+		return nil
+	})
 
 	// Decrypt F″ → F′.
-	if err := crypt.EncryptCTR(keys.Enc, fileID, ecc); err != nil {
+	if err := crypt.EncryptCTRParallel(workers, keys.Enc, fileID, ecc); err != nil {
 		return nil, fmt.Errorf("decrypt: %w", err)
 	}
 
 	// Error-correct each chunk, with suspect blocks as erasures. When a
 	// chunk has more erasures than the code can absorb, fall back to
 	// blind error decoding, which may still succeed if tags were
-	// damaged but payloads intact.
+	// damaged but payloads intact. Chunks decode independently; the
+	// reported error is the lowest-numbered failing chunk's, as in the
+	// sequential loop.
 	plain := make([]byte, layout.PaddedBlocks*int64(bs))
 	chunkIn := layout.ChunkData * bs
 	chunkOut := layout.ChunkTotal * bs
-	for c := int64(0); c < layout.Chunks; c++ {
+	err = parallel.For(workers, int(layout.Chunks), func(ci int) error {
+		c := int64(ci)
 		chunk := ecc[c*int64(chunkOut) : (c+1)*int64(chunkOut)]
 		var erasures []int
 		for b := 0; b < layout.ChunkTotal; b++ {
@@ -230,9 +332,13 @@ func (e *Encoder) Extract(fileID string, layout blockfile.Layout, data []byte) (
 			dec, err = bc.DecodeChunk(chunk, nil)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("chunk %d: %w: %v", c, ErrUnrecoverable, err)
+			return fmt.Errorf("chunk %d: %w: %v", c, ErrUnrecoverable, err)
 		}
 		copy(plain[c*int64(chunkIn):], dec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return layout.Unpad(plain)
 }

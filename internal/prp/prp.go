@@ -43,6 +43,11 @@ type Permutation interface {
 	Index(x uint64) uint64
 	// Inverse maps a permuted position back to the plaintext position.
 	Inverse(y uint64) uint64
+	// IndexBatch fills dst[i] = Index(first + i) for every i, the bulk
+	// form used when permuting a contiguous run of file blocks: one
+	// dynamic dispatch per shard instead of per block, and a natural
+	// unit for the POR engine's worker pool to fan out.
+	IndexBatch(first uint64, dst []uint64)
 }
 
 // prf computes a 64-bit pseudorandom function value over the given round
@@ -130,6 +135,14 @@ func (f *Feistel) Index(x uint64) uint64 {
 	return y
 }
 
+// IndexBatch maps the consecutive positions first..first+len(dst) in one
+// call.
+func (f *Feistel) IndexBatch(first uint64, dst []uint64) {
+	for i := range dst {
+		dst[i] = f.Index(first + uint64(i))
+	}
+}
+
 // Inverse maps a permuted position back to the original position.
 func (f *Feistel) Inverse(y uint64) uint64 {
 	if y >= f.n {
@@ -207,6 +220,14 @@ func (s *SwapOrNot) Index(x uint64) uint64 {
 		x = s.round(uint32(i), x)
 	}
 	return x
+}
+
+// IndexBatch maps the consecutive positions first..first+len(dst) in one
+// call.
+func (s *SwapOrNot) IndexBatch(first uint64, dst []uint64) {
+	for i := range dst {
+		dst[i] = s.Index(first + uint64(i))
+	}
 }
 
 // Inverse maps a permuted position back. Each round is an involution, so

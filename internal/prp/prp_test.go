@@ -158,3 +158,21 @@ func TestKeyCopiedAtConstruction(t *testing.T) {
 		t.Fatal("permutation changed when caller mutated the key slice")
 	}
 }
+
+func TestIndexBatchMatchesIndex(t *testing.T) {
+	for _, n := range []uint64{1, 5, 97, 1000} {
+		for name, p := range permutations(t, n) {
+			for _, span := range []struct{ first, count uint64 }{
+				{0, n}, {n / 2, n - n/2}, {n - 1, 1}, {0, 0},
+			} {
+				dst := make([]uint64, span.count)
+				p.IndexBatch(span.first, dst)
+				for i, got := range dst {
+					if want := p.Index(span.first + uint64(i)); got != want {
+						t.Fatalf("%s n=%d: IndexBatch[%d]=%d, Index=%d", name, n, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
