@@ -206,6 +206,24 @@ func BenchmarkPRPFeistel(b *testing.B) {
 	}
 }
 
+// BenchmarkPRPFeistelBatch is the bulk form of BenchmarkPRPFeistel: one
+// IndexBatch call per 1024 consecutive positions, the shape the POR
+// pipeline's permutation shards actually use. Compare ns/index against
+// BenchmarkPRPFeistel's ns/op.
+func BenchmarkPRPFeistelBatch(b *testing.B) {
+	const dom = 153008209
+	p, err := prp.NewFeistel([]byte("bench-key"), dom, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]uint64, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.IndexBatch(uint64(i*1024)%(dom-1024), dst)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1024, "ns/index")
+}
+
 func BenchmarkPRPSwapOrNot(b *testing.B) {
 	// Ablation partner of BenchmarkPRPFeistel.
 	p, err := prp.NewSwapOrNot([]byte("bench-key"), 153008209, 0)

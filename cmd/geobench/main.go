@@ -27,8 +27,10 @@ func run() error {
 	exp := flag.Int("exp", 0, "experiment number 1-10 (0 = all)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("j", 0, "POR pipeline concurrency (0 = all CPUs, 1 = sequential)")
+	mib := flag.Int("mib", 1, "file size in MiB for the measured E4 encode/extract throughput rows")
 	flag.Parse()
 	experiments.Concurrency = *workers
+	experiments.MeasuredMiB = *mib
 
 	type gen func() (experiments.Table, error)
 	gens := map[int]gen{

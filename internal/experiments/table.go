@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Concurrency caps the POR engine's worker fan-out in every experiment
@@ -75,3 +76,10 @@ func (t Table) String() string {
 func ms(d float64) string  { return fmt.Sprintf("%.3f ms", d) }
 func km(d float64) string  { return fmt.Sprintf("%.0f km", d) }
 func pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// throughput renders a wall time together with the MB/s it implies for
+// nbytes of payload, so the paper tables double as perf regression logs.
+func throughput(nbytes int, d time.Duration) string {
+	mbps := float64(nbytes) / (1 << 20) / d.Seconds()
+	return fmt.Sprintf("%.1f ms = %.1f MB/s", float64(d.Microseconds())/1000, mbps)
+}

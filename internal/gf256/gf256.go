@@ -6,13 +6,26 @@
 //
 // All operations are table-driven: a 256-entry log table and a 510-entry
 // anti-log (exp) table make multiplication, division and exponentiation a
-// couple of array lookups. The tables are computed once at package
-// initialisation from the primitive polynomial; the computation is fully
-// deterministic and performs no I/O, which keeps it within the accepted
-// uses of init-time work.
+// couple of array lookups, and a full 256×256 product table backs the bulk
+// slab kernels (MulRow, MulSlice, AddMulSlice, Reducer in slab.go) that
+// the Reed-Solomon data plane is built on. The tables are computed once at
+// package initialisation from the primitive polynomial; the computation is
+// fully deterministic and performs no I/O, which keeps it within the
+// accepted uses of init-time work.
+//
+// # Slab kernel layout
+//
+// The bulk kernels avoid per-byte log/exp pairs in two ways. Scalar
+// chained evaluations use precomputed multiplication rows: MulRow(c) is
+// the 256-entry row c·x, so a Horner step is one dependent L1 load. Long
+// vectors use bit-sliced 64-bit batching: multiplication by a constant c
+// is linear over GF(2), so eight bytes packed in a uint64 are multiplied
+// by XOR-accumulating, for each input-bit position b, the lane mask of bit
+// b ANDed with the byte c·x^b replicated into all eight lanes — five ALU
+// ops per bit position, 8 bytes per step, no lookups. Reducer additionally
+// precomputes 256 word-packed rows v·(divisor tail) so each polynomial-
+// division step is a few unaligned 64-bit XORs; see slab.go.
 package gf256
-
-import "fmt"
 
 // Poly is the primitive polynomial x^8+x^4+x^3+x^2+1 used to construct the
 // field. The ninth bit (0x100) is the leading x^8 term.
@@ -36,6 +49,15 @@ func init() {
 		x <<= 1
 		if x&0x100 != 0 {
 			x ^= Poly
+		}
+	}
+	// Full product table for the slab kernels (slab.go): row c holds c·x
+	// for every x. 64 KiB, shared by MulRow, MulSlice and AddMulSlice.
+	for c := 1; c < 256; c++ {
+		lc := int(_log[c])
+		row := &mulTable[c]
+		for x := 1; x < 256; x++ {
+			row[x] = _exp[lc+int(_log[x])]
 		}
 	}
 }
@@ -113,22 +135,4 @@ func Pow(a byte, n int) byte {
 		e += 255
 	}
 	return _exp[e]
-}
-
-// MulSlice computes dst[i] ^= c·src[i] for all i, the core row operation of
-// Reed-Solomon encoding and of Forney-style erasure filling. dst and src
-// must have equal length.
-func MulSlice(c byte, dst, src []byte) {
-	if len(dst) != len(src) {
-		panic(fmt.Sprintf("gf256: MulSlice length mismatch %d != %d", len(dst), len(src)))
-	}
-	if c == 0 {
-		return
-	}
-	lc := int(_log[c])
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= _exp[lc+int(_log[s])]
-		}
-	}
 }

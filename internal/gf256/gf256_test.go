@@ -183,29 +183,6 @@ func TestLogZeroPanics(t *testing.T) {
 	Log(0)
 }
 
-func TestMulSlice(t *testing.T) {
-	src := []byte{1, 2, 3, 0, 0xFF}
-	dst := []byte{9, 9, 9, 9, 9}
-	want := make([]byte, len(src))
-	for i := range src {
-		want[i] = dst[i] ^ Mul(0x1B, src[i])
-	}
-	MulSlice(0x1B, dst, src)
-	for i := range dst {
-		if dst[i] != want[i] {
-			t.Fatalf("MulSlice[%d]=%#x, want %#x", i, dst[i], want[i])
-		}
-	}
-}
-
-func TestMulSliceZeroCoefficientNoOp(t *testing.T) {
-	dst := []byte{1, 2, 3}
-	MulSlice(0, dst, []byte{4, 5, 6})
-	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
-		t.Fatal("MulSlice with c=0 modified dst")
-	}
-}
-
 func TestMulSliceLengthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

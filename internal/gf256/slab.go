@@ -1,0 +1,243 @@
+package gf256
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file holds the bulk ("slab") kernels: operations that apply one
+// GF(2^8) coefficient to a whole byte slice at a time instead of one
+// log/exp lookup pair per byte. Two mechanisms are layered:
+//
+//   - A full 256×256 product table (mulTable, 64 KiB, built at init) gives
+//     per-coefficient 256-entry multiplication rows: MulRow(c)[x] = c·x.
+//     Rows are the scalar fallback and feed chained evaluations such as
+//     Horner steps, where each lookup depends on the previous result.
+//   - Bit-sliced 64-bit word batching: multiplication by a constant c is
+//     GF(2)-linear, so for eight input bytes packed in a uint64 the product
+//     is the XOR over input-bit positions b of (lane mask of bit b) AND
+//     (c·x^b replicated into every lane). The inner loop touches 8 bytes
+//     per step with pure ALU ops — no table lookups, no per-byte branches.
+//
+// Reducer combines both: it precomputes, for every field element v, the
+// word-packed row v·(divisor minus its leading term), so one reduction
+// step of polynomial division is a handful of 64-bit XORs.
+
+const lanes = 0x0101010101010101 // one bit set per byte lane
+
+// mulTable[c][x] = c·x. Built at package init (see gf256.go) right after
+// the log/exp tables; rows are shared via MulRow and the word kernels.
+var mulTable [256][256]byte
+
+// MulRow returns the 256-entry multiplication row of c: row[x] = c·x.
+// The row aliases a package-level table and must not be modified.
+func MulRow(c byte) *[256]byte { return &mulTable[c] }
+
+// wordTab returns the eight lane-replicated products c·x^b (b = 0..7)
+// used by the bit-sliced word kernels.
+func wordTab(c byte) (t [8]uint64) {
+	row := &mulTable[c]
+	for b := 0; b < 8; b++ {
+		t[b] = uint64(row[1<<b]) * lanes
+	}
+	return t
+}
+
+// mulWord multiplies each of the eight byte lanes of w by the coefficient
+// described by t. For every bit position b, ((w>>b)&lanes)*0xFF expands
+// "bit b of each lane" into a full-byte mask, which selects the replicated
+// partial product c·x^b for exactly the lanes that have that bit set.
+func mulWord(t *[8]uint64, w uint64) uint64 {
+	acc := ((w >> 0) & lanes) * 0xFF & t[0]
+	acc ^= ((w >> 1) & lanes) * 0xFF & t[1]
+	acc ^= ((w >> 2) & lanes) * 0xFF & t[2]
+	acc ^= ((w >> 3) & lanes) * 0xFF & t[3]
+	acc ^= ((w >> 4) & lanes) * 0xFF & t[4]
+	acc ^= ((w >> 5) & lanes) * 0xFF & t[5]
+	acc ^= ((w >> 6) & lanes) * 0xFF & t[6]
+	acc ^= ((w >> 7) & lanes) * 0xFF & t[7]
+	return acc
+}
+
+func checkLen(op string, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("gf256: %s length mismatch %d != %d", op, len(dst), len(src)))
+	}
+}
+
+// MulSlice computes dst[i] = c·src[i] for all i, eight bytes per inner
+// step. dst and src must have equal length; they may be the same slice
+// (in-place scaling) but must not otherwise overlap.
+func MulSlice(c byte, dst, src []byte) {
+	checkLen("MulSlice", dst, src)
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	t := wordTab(c)
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], mulWord(&t, w))
+	}
+	row := &mulTable[c]
+	for i := n; i < len(src); i++ {
+		dst[i] = row[src[i]]
+	}
+}
+
+// AddMulSlice computes dst[i] ^= c·src[i] for all i — the multiply-
+// accumulate row operation at the heart of Reed-Solomon encoding — eight
+// bytes per inner step. dst and src must have equal length and must not
+// overlap.
+func AddMulSlice(c byte, dst, src []byte) {
+	checkLen("AddMulSlice", dst, src)
+	switch c {
+	case 0:
+		return
+	case 1:
+		XorSlice(dst, src)
+		return
+	}
+	t := wordTab(c)
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		w := binary.LittleEndian.Uint64(src[i:])
+		o := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], o^mulWord(&t, w))
+	}
+	row := &mulTable[c]
+	for i := n; i < len(src); i++ {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// XorSlice computes dst[i] ^= src[i] (GF(2^8) addition of whole slices),
+// eight bytes per step. dst and src must have equal length and must not
+// overlap.
+func XorSlice(dst, src []byte) {
+	checkLen("XorSlice", dst, src)
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		o := binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], o^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// Reducer performs fast reduction of a polynomial (descending coefficient
+// order) modulo a fixed monic divisor. It precomputes, for every field
+// element v, the 64-bit-word-packed row v·(divisor without its leading 1),
+// and runs the long division as a byte-wide LFSR whose Degree()-byte
+// remainder window lives entirely in 64-bit registers: one division step
+// is "cancel the leading term, slide the window a byte, XOR one row" —
+// a handful of ALU ops instead of Degree() log/exp multiplies, with no
+// store-to-load round trip through the buffer.
+//
+// A Reducer is immutable after construction and safe for concurrent use.
+type Reducer struct {
+	deg   int           // degree of the divisor
+	words int           // row width in 64-bit words: ceil(deg/8)
+	rows  []uint64      // 256 rows of `words` words; row v = v·divisor[1:], zero-padded
+	rows4 *[1024]uint64 // rows viewed as a fixed array when words == 4 (bounds-check-free)
+}
+
+// NewReducer builds a Reducer for the given monic divisor polynomial in
+// descending coefficient order (divisor[0] must be 1, degree ≥ 1). The
+// table costs 256·ceil(deg/8) words — 8 KiB for the degree-32 generator of
+// the paper's (255,223) code.
+func NewReducer(divisor []byte) *Reducer {
+	if len(divisor) < 2 || divisor[0] != 1 {
+		panic(fmt.Sprintf("gf256: NewReducer wants a monic divisor of degree >= 1, got %d coefficients", len(divisor)))
+	}
+	deg := len(divisor) - 1
+	words := (deg + 7) / 8
+	r := &Reducer{deg: deg, words: words, rows: make([]uint64, 256*words)}
+	rowBytes := make([]byte, words*8)
+	tail := divisor[1:]
+	for v := 1; v < 256; v++ {
+		MulSlice(byte(v), rowBytes[:deg], tail)
+		for w := 0; w < words; w++ {
+			r.rows[v*words+w] = binary.LittleEndian.Uint64(rowBytes[w*8:])
+		}
+	}
+	if words == 4 {
+		r.rows4 = (*[1024]uint64)(r.rows)
+	}
+	return r
+}
+
+// Degree returns the degree of the divisor.
+func (r *Reducer) Degree() int { return r.deg }
+
+// Scratch returns the minimum buffer length Reduce needs for the given
+// number of steps: steps coefficients plus one full row of write slack.
+func (r *Reducer) Scratch(steps int) int { return steps + r.words*8 }
+
+// Reduce runs `steps` long-division steps over buf: for each i < steps it
+// cancels the (accumulated) coefficient at buf[i] by folding its multiple
+// of the divisor into the following Degree() positions. Reducing a
+// degree-(steps+Degree()-1) polynomial with its coefficients in
+// buf[0:steps+Degree()] leaves the remainder modulo the divisor in
+// buf[steps:steps+Degree()]. buf[:steps] is left untouched.
+//
+// buf must be at least Scratch(steps) long; the slack bytes past the
+// remainder are scribbled on and must not hold live data.
+func (r *Reducer) Reduce(buf []byte, steps int) {
+	if len(buf) < r.Scratch(steps) {
+		panic(fmt.Sprintf("gf256: Reduce buffer %d shorter than Scratch(%d)=%d", len(buf), steps, r.Scratch(steps)))
+	}
+	if r.rows4 != nil {
+		r.reduce4(buf, steps)
+		return
+	}
+	rows, words := r.rows, r.words
+	// state holds the in-flight XOR contributions to the Degree()-byte
+	// window just past position i, little-endian: byte 0 of state[0] is
+	// the contribution to position i+1. Row 0 is all zeros, so v == 0
+	// steps need no branch.
+	state := make([]uint64, words)
+	for i := 0; i < steps; i++ {
+		v := buf[i] ^ byte(state[0])
+		for w := 0; w < words-1; w++ {
+			state[w] = state[w]>>8 | state[w+1]<<56
+		}
+		state[words-1] >>= 8
+		row := rows[int(v)*words : int(v)*words+words]
+		for w := range row {
+			state[w] ^= row[w]
+		}
+	}
+	for w := 0; w < words; w++ {
+		p := buf[steps+w*8:]
+		binary.LittleEndian.PutUint64(p, binary.LittleEndian.Uint64(p)^state[w])
+	}
+}
+
+// reduce4 is Reduce specialised for four-word rows (degree 25..32, which
+// covers the degree-32 generator of the paper's (255,223) code): the
+// remainder window is four uint64s held in registers for the whole pass.
+func (r *Reducer) reduce4(buf []byte, steps int) {
+	rows := r.rows4
+	var s0, s1, s2, s3 uint64
+	for i := 0; i < steps; i++ {
+		o := int(buf[i]^byte(s0)) * 4
+		s0 = (s0>>8 | s1<<56) ^ rows[o]
+		s1 = (s1>>8 | s2<<56) ^ rows[o+1]
+		s2 = (s2>>8 | s3<<56) ^ rows[o+2]
+		s3 = s3>>8 ^ rows[o+3]
+	}
+	p := buf[steps : steps+32 : len(buf)]
+	binary.LittleEndian.PutUint64(p[0:], binary.LittleEndian.Uint64(p[0:])^s0)
+	binary.LittleEndian.PutUint64(p[8:], binary.LittleEndian.Uint64(p[8:])^s1)
+	binary.LittleEndian.PutUint64(p[16:], binary.LittleEndian.Uint64(p[16:])^s2)
+	binary.LittleEndian.PutUint64(p[24:], binary.LittleEndian.Uint64(p[24:])^s3)
+}

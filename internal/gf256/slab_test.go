@@ -1,0 +1,186 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randSlab(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// slabLens exercises the word loop, the byte tail, and the empty slice.
+var slabLens = []int{0, 1, 7, 8, 9, 15, 16, 31, 64, 255, 1000}
+
+func TestMulRowMatchesMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		row := MulRow(byte(c))
+		for x := 0; x < 256; x++ {
+			if want := Mul(byte(c), byte(x)); row[x] != want {
+				t.Fatalf("MulRow(%#x)[%#x]=%#x, want %#x", c, x, row[x], want)
+			}
+		}
+	}
+}
+
+func TestMulSliceMatchesMul(t *testing.T) {
+	for _, n := range slabLens {
+		src := randSlab(int64(n)+1, n)
+		for _, c := range []byte{0, 1, 2, 0x1B, 0x80, 0xFF} {
+			dst := randSlab(int64(n)+2, n) // junk: MulSlice must overwrite
+			MulSlice(c, dst, src)
+			for i := range src {
+				if want := Mul(c, src[i]); dst[i] != want {
+					t.Fatalf("c=%#x n=%d: MulSlice[%d]=%#x, want %#x", c, n, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestMulSliceInPlace(t *testing.T) {
+	src := randSlab(3, 100)
+	want := make([]byte, len(src))
+	MulSlice(0x53, want, src)
+	buf := append([]byte(nil), src...)
+	MulSlice(0x53, buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("in-place MulSlice differs from out-of-place")
+	}
+}
+
+func TestAddMulSliceMatchesMul(t *testing.T) {
+	for _, n := range slabLens {
+		src := randSlab(int64(n)+4, n)
+		base := randSlab(int64(n)+5, n)
+		for _, c := range []byte{0, 1, 2, 0x1B, 0x80, 0xFF} {
+			dst := append([]byte(nil), base...)
+			AddMulSlice(c, dst, src)
+			for i := range src {
+				if want := base[i] ^ Mul(c, src[i]); dst[i] != want {
+					t.Fatalf("c=%#x n=%d: AddMulSlice[%d]=%#x, want %#x", c, n, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	for _, n := range slabLens {
+		src := randSlab(int64(n)+6, n)
+		dst := randSlab(int64(n)+7, n)
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = dst[i] ^ src[i]
+		}
+		XorSlice(dst, src)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("n=%d: XorSlice mismatch", n)
+		}
+	}
+}
+
+func TestAddMulSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	AddMulSlice(1, []byte{1}, []byte{1, 2})
+}
+
+// refReduce is textbook long division: cancel the leading coefficient by
+// folding v·divisor into the next deg positions.
+func refReduce(buf, divisor []byte, steps int) {
+	for i := 0; i < steps; i++ {
+		v := buf[i]
+		if v == 0 {
+			continue
+		}
+		for j := 1; j < len(divisor); j++ {
+			buf[i+j] ^= Mul(v, divisor[j])
+		}
+	}
+}
+
+func TestReduceMatchesLongDivision(t *testing.T) {
+	// Monic divisors of assorted degrees, including the 4-word fast path
+	// (degree 25..32) and degrees that do not fill a whole word.
+	for _, deg := range []int{1, 2, 4, 7, 8, 9, 16, 25, 26, 31, 32, 33, 40} {
+		div := randSlab(int64(deg), deg+1)
+		div[0] = 1
+		r := NewReducer(div)
+		if r.Degree() != deg {
+			t.Fatalf("deg=%d: Degree=%d", deg, r.Degree())
+		}
+		for _, steps := range []int{1, 2, 13, 100, 223} {
+			buf := randSlab(int64(steps)*7+int64(deg), r.Scratch(steps))
+			want := append([]byte(nil), buf...)
+			refReduce(want, div, steps)
+			r.Reduce(buf, steps)
+			if !bytes.Equal(buf[steps:steps+deg], want[steps:steps+deg]) {
+				t.Fatalf("deg=%d steps=%d: remainder mismatch", deg, steps)
+			}
+		}
+	}
+}
+
+func TestNewReducerRejectsNonMonic(t *testing.T) {
+	for _, div := range [][]byte{nil, {1}, {2, 3, 4}, {0, 1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewReducer(%v) did not panic", div)
+				}
+			}()
+			NewReducer(div)
+		}()
+	}
+}
+
+func TestReduceShortBufferPanics(t *testing.T) {
+	r := NewReducer([]byte{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short buffer did not panic")
+		}
+	}()
+	r.Reduce(make([]byte, 5), 10)
+}
+
+func BenchmarkMulSlice4K(b *testing.B) {
+	src := randSlab(1, 4096)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		MulSlice(0x8E, dst, src)
+	}
+}
+
+func BenchmarkAddMulSlice4K(b *testing.B) {
+	src := randSlab(1, 4096)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		AddMulSlice(0x8E, dst, src)
+	}
+}
+
+// BenchmarkReduce255 measures one slab reduction of a 255-coefficient
+// polynomial by a degree-32 monic divisor — the per-stripe cost of both
+// Reed-Solomon parity generation and the clean-path parity check.
+func BenchmarkReduce255(b *testing.B) {
+	div := randSlab(9, 33)
+	div[0] = 1
+	r := NewReducer(div)
+	buf := make([]byte, r.Scratch(223))
+	src := randSlab(10, len(buf))
+	b.SetBytes(255)
+	for i := 0; i < b.N; i++ {
+		copy(buf, src)
+		r.Reduce(buf, 223)
+	}
+}

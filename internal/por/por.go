@@ -31,6 +31,7 @@ package por
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/blockfile"
 	"repro/internal/crypt"
@@ -284,19 +285,39 @@ func (e *Encoder) Extract(fileID string, layout blockfile.Layout, data []byte) (
 		return nil
 	})
 
-	// Un-permute F‴ → F″ and propagate suspicion to block granularity.
+	// Un-permute F‴ → F″ and propagate suspicion to block granularity,
+	// counting suspects per chunk so the decode stage can tell clean
+	// chunks apart without rescanning every block. Worker block ranges do
+	// not align with chunk boundaries, so each worker tallies into a
+	// local map (almost always empty — honest provers produce no
+	// suspects) and merges under a mutex.
 	ecc := make([]byte, len(permuted))
 	suspectBlock := make([]bool, layout.TotalBlocks)
+	suspectInChunk := make([]int32, layout.Chunks)
+	var suspectMu sync.Mutex
 	parallel.ForRange(workers, int(layout.TotalBlocks), func(lo, hi int) error {
 		srcs := make([]uint64, hi-lo)
 		perm.IndexBatch(uint64(lo), srcs)
+		local := make(map[int64]int32)
 		for i, s := range srcs {
 			b := int64(lo + i)
 			src := int64(s) // block b was stored at position src
 			copy(ecc[b*int64(bs):(b+1)*int64(bs)], permuted[src*int64(bs):(src+1)*int64(bs)])
 			if suspectSeg[src/int64(layout.SegmentBlocks)] {
 				suspectBlock[b] = true
+				// Blocks at or past ECCBlocks are segment padding: they
+				// belong to no chunk and are never decoded.
+				if b < layout.ECCBlocks {
+					local[b/int64(layout.ChunkTotal)]++
+				}
 			}
+		}
+		if len(local) > 0 {
+			suspectMu.Lock()
+			for c, n := range local {
+				suspectInChunk[c] += n
+			}
+			suspectMu.Unlock()
 		}
 		return nil
 	})
@@ -306,7 +327,11 @@ func (e *Encoder) Extract(fileID string, layout blockfile.Layout, data []byte) (
 		return nil, fmt.Errorf("decrypt: %w", err)
 	}
 
-	// Error-correct each chunk, with suspect blocks as erasures. When a
+	// Error-correct each chunk, with suspect blocks as erasures. Chunks
+	// with no suspect segments — every chunk, for an honest prover —
+	// skip the erasure scan and hand DecodeChunk a nil hint list, and
+	// DecodeChunk's all-syndromes-zero parity pass then skips the full
+	// decoder per stripe, so clean recovery runs at encode speed. When a
 	// chunk has more erasures than the code can absorb, fall back to
 	// blind error decoding, which may still succeed if tags were
 	// damaged but payloads intact. Chunks decode independently; the
@@ -319,13 +344,12 @@ func (e *Encoder) Extract(fileID string, layout blockfile.Layout, data []byte) (
 		c := int64(ci)
 		chunk := ecc[c*int64(chunkOut) : (c+1)*int64(chunkOut)]
 		var erasures []int
-		for b := 0; b < layout.ChunkTotal; b++ {
-			if suspectBlock[c*int64(layout.ChunkTotal)+int64(b)] {
-				erasures = append(erasures, b)
+		if suspectInChunk[c] > 0 && int(suspectInChunk[c]) <= layout.ChunkTotal-layout.ChunkData {
+			for b := 0; b < layout.ChunkTotal; b++ {
+				if suspectBlock[c*int64(layout.ChunkTotal)+int64(b)] {
+					erasures = append(erasures, b)
+				}
 			}
-		}
-		if len(erasures) > layout.ChunkTotal-layout.ChunkData {
-			erasures = nil // beyond erasure budget; try blind decode
 		}
 		dec, err := bc.DecodeChunk(chunk, erasures)
 		if err != nil && erasures != nil {

@@ -124,6 +124,44 @@ func TestExtractRecoversScatteredCorruption(t *testing.T) {
 	}
 }
 
+// TestExtractCorruptPaddingSegment pins a geometry where SegmentBlocks
+// does not divide ECCBlocks, so the last segment spans real ECC blocks
+// *and* segment-padding blocks past every chunk. Corrupting it must still
+// extract cleanly: padding suspects belong to no chunk and must not
+// derail (or, regression: crash) the per-chunk suspect accounting.
+func TestExtractCorruptPaddingSegment(t *testing.T) {
+	params := blockfile.Params{
+		BlockSize:     4,
+		ChunkData:     11,
+		ChunkTotal:    15,
+		SegmentBlocks: 4,
+		TagBits:       32,
+	}
+	e := NewEncoder([]byte("test-master-secret")).WithParams(params)
+	file := testFile(6, 40) // 1 chunk: ECCBlocks=15, TotalBlocks=16
+	enc, err := e.Encode("f", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt each segment in turn: exactly one of them holds the
+	// permuted padding block, whichever the PRP chose, and every variant
+	// stays within the (15,11) erasure budget of 4.
+	rng := rand.New(rand.NewSource(13))
+	segSize := enc.Layout.SegmentSize()
+	for s := 0; s < int(enc.Layout.Segments); s++ {
+		data := make([]byte, len(enc.Data))
+		copy(data, enc.Data)
+		rng.Read(data[s*segSize : (s+1)*segSize])
+		got, err := e.Extract("f", enc.Layout, data)
+		if err != nil {
+			t.Fatalf("segment %d: %v", s, err)
+		}
+		if !bytes.Equal(got, file) {
+			t.Fatalf("segment %d: extract failed to repair corruption", s)
+		}
+	}
+}
+
 func TestExtractFailsWhenDestroyed(t *testing.T) {
 	e := newTestEncoder()
 	file := testFile(5, 2000)

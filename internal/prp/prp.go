@@ -24,9 +24,12 @@ import (
 	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/sha256"
+	"encoding"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"sync"
 )
 
 // ErrBadDomain reports a permutation domain that is zero or too large.
@@ -51,7 +54,9 @@ type Permutation interface {
 }
 
 // prf computes a 64-bit pseudorandom function value over the given round
-// and input, keyed with HMAC-SHA256.
+// and input, keyed with HMAC-SHA256. It is the reference implementation
+// that hmacPRF is pinned against in the differential tests; the hot paths
+// use hmacPRF, which produces bit-identical output.
 func prf(key []byte, label byte, round uint32, x uint64) uint64 {
 	mac := hmac.New(sha256.New, key)
 	var buf [13]byte
@@ -60,6 +65,75 @@ func prf(key []byte, label byte, round uint32, x uint64) uint64 {
 	binary.BigEndian.PutUint64(buf[5:13], x)
 	mac.Write(buf[:])
 	return binary.BigEndian.Uint64(mac.Sum(nil)[:8])
+}
+
+// hmacPRF evaluates the same HMAC-SHA256 PRF as prf but precomputes the
+// keyed inner and outer digest states once at construction. Each call
+// restores a state snapshot instead of building hmac.New(sha256.New, key)
+// from scratch, which removes both the per-call key-block compressions
+// (HMAC spends two of its four SHA-256 compressions re-absorbing the
+// padded key) and the allocation churn of a fresh HMAC and two digests
+// per round per element. A sync.Pool of scratch digests keeps it safe for
+// concurrent use.
+type hmacPRF struct {
+	inner, outer []byte // marshaled SHA-256 states after absorbing ipad / opad
+	pool         sync.Pool
+}
+
+type prfScratch struct {
+	inner, outer hash.Hash
+	buf          [sha256.Size]byte // inner digest output
+	out          [sha256.Size]byte // outer digest output
+}
+
+func newHMACPRF(key []byte) *hmacPRF {
+	const blockSize = 64 // SHA-256 block size, per RFC 2104
+	if len(key) > blockSize {
+		sum := sha256.Sum256(key)
+		key = sum[:]
+	}
+	var pad [blockSize]byte
+	marshal := func(x byte) []byte {
+		for i := range pad {
+			pad[i] = x
+		}
+		for i, b := range key {
+			pad[i] ^= b
+		}
+		h := sha256.New()
+		h.Write(pad[:])
+		state, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			panic(fmt.Sprintf("prp: marshal sha256 state: %v", err))
+		}
+		return state
+	}
+	p := &hmacPRF{inner: marshal(0x36), outer: marshal(0x5c)}
+	p.pool.New = func() any {
+		return &prfScratch{inner: sha256.New(), outer: sha256.New()}
+	}
+	return p
+}
+
+func (p *hmacPRF) sum64(label byte, round uint32, x uint64) uint64 {
+	s := p.pool.Get().(*prfScratch)
+	var msg [13]byte
+	msg[0] = label
+	binary.BigEndian.PutUint32(msg[1:5], round)
+	binary.BigEndian.PutUint64(msg[5:13], x)
+	if err := s.inner.(encoding.BinaryUnmarshaler).UnmarshalBinary(p.inner); err != nil {
+		panic(fmt.Sprintf("prp: restore sha256 state: %v", err))
+	}
+	s.inner.Write(msg[:])
+	isum := s.inner.Sum(s.buf[:0])
+	if err := s.outer.(encoding.BinaryUnmarshaler).UnmarshalBinary(p.outer); err != nil {
+		panic(fmt.Sprintf("prp: restore sha256 state: %v", err))
+	}
+	s.outer.Write(isum)
+	osum := s.outer.Sum(s.out[:0])
+	v := binary.BigEndian.Uint64(osum[:8])
+	p.pool.Put(s)
+	return v
 }
 
 // Feistel is a balanced Feistel network on 2w-bit values combined with
@@ -135,11 +209,82 @@ func (f *Feistel) Index(x uint64) uint64 {
 	return y
 }
 
+// feistelTile is the number of positions IndexBatch pushes through the
+// rounds together. Within a tile every round issues feistelTile
+// independent AES block encryptions back to back, so AES-NI can pipeline
+// them instead of stalling on one element's ten-round latency chain; 64
+// keeps the whole scratch (two 1 KiB block buffers plus the half slices)
+// in L1 and on the stack.
+const feistelTile = 64
+
 // IndexBatch maps the consecutive positions first..first+len(dst) in one
-// call.
+// call, batching the Feistel rounds across a tile of positions: each
+// round packs all in-flight round-function inputs into one contiguous
+// buffer and encrypts them as independent AES blocks. Elements whose
+// output lands outside the domain cycle-walk together in progressively
+// smaller batches until the tile drains. Output is identical to calling
+// Index per position.
 func (f *Feistel) IndexBatch(first uint64, dst []uint64) {
-	for i := range dst {
-		dst[i] = f.Index(first + uint64(i))
+	if len(dst) == 0 {
+		return
+	}
+	if last := first + uint64(len(dst)) - 1; last >= f.n {
+		x := first
+		if x < f.n {
+			x = f.n
+		}
+		panic(fmt.Sprintf("prp: index %d outside domain %d", x, f.n))
+	}
+	var l, r [feistelTile]uint64
+	var idx [feistelTile]int
+	var in, out [feistelTile * 16]byte
+	for base := 0; base < len(dst); base += feistelTile {
+		m := min(feistelTile, len(dst)-base)
+		for i := 0; i < m; i++ {
+			x := first + uint64(base+i)
+			l[i] = (x >> f.half) & f.mask
+			r[i] = x & f.mask
+			idx[i] = base + i
+		}
+		for m > 0 {
+			f.roundsBatch(l[:m], r[:m], in[:], out[:])
+			// Deliver in-domain outputs; compact the stragglers to the
+			// front of the tile and walk them through another pass.
+			walkers := 0
+			for i := 0; i < m; i++ {
+				y := l[i]<<f.half | r[i]
+				if y < f.n {
+					dst[idx[i]] = y
+					continue
+				}
+				l[walkers] = (y >> f.half) & f.mask
+				r[walkers] = y & f.mask
+				idx[walkers] = idx[i]
+				walkers++
+			}
+			m = walkers
+		}
+	}
+}
+
+// roundsBatch runs the full Feistel round schedule over a batch of
+// (l, r) halves in struct-of-arrays form. Per round it packs every
+// element's round-function input into `in`, encrypts the blocks
+// back to back, then folds the outputs into the halves — the same
+// computation as encryptOnce, element-wise.
+func (f *Feistel) roundsBatch(l, r []uint64, in, out []byte) {
+	for i := 0; i < f.rounds; i++ {
+		ri := uint32(i)
+		for j := range r {
+			binary.BigEndian.PutUint32(in[j*16:], ri)
+			binary.BigEndian.PutUint64(in[j*16+4:], r[j])
+		}
+		for j := range r {
+			f.block.Encrypt(out[j*16:j*16+16], in[j*16:j*16+16])
+		}
+		for j := range r {
+			l[j], r[j] = r[j], l[j]^(binary.BigEndian.Uint64(out[j*16:j*16+8])&f.mask)
+		}
 	}
 }
 
@@ -177,6 +322,7 @@ func (f *Feistel) decryptOnce(y uint64) uint64 {
 // directly on [0, n).
 type SwapOrNot struct {
 	key    []byte
+	prf    *hmacPRF // keyed once; replaces per-round hmac.New churn
 	n      uint64
 	rounds int
 	ks     []uint64 // per-round offsets in [0, n)
@@ -200,10 +346,10 @@ func NewSwapOrNot(key []byte, n uint64, rounds int) (*SwapOrNot, error) {
 	}
 	k := make([]byte, len(key))
 	copy(k, key)
-	s := &SwapOrNot{key: k, n: n, rounds: rounds}
+	s := &SwapOrNot{key: k, prf: newHMACPRF(k), n: n, rounds: rounds}
 	s.ks = make([]uint64, rounds)
 	for i := range s.ks {
-		s.ks[i] = prf(k, 'K', uint32(i), 0) % n
+		s.ks[i] = s.prf.sum64('K', uint32(i), 0) % n
 	}
 	return s, nil
 }
@@ -251,7 +397,7 @@ func (s *SwapOrNot) round(i uint32, x uint64) uint64 {
 	if partner > hi {
 		hi = partner
 	}
-	if prf(s.key, 'B', i, hi)&1 == 1 {
+	if s.prf.sum64('B', i, hi)&1 == 1 {
 		return partner
 	}
 	return x

@@ -2,6 +2,7 @@ package prp
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -157,6 +158,59 @@ func TestKeyCopiedAtConstruction(t *testing.T) {
 	if p.Index(5) != before {
 		t.Fatal("permutation changed when caller mutated the key slice")
 	}
+}
+
+// TestHMACPRFMatchesReference pins the precomputed-state PRF bit-identical
+// to the hmac.New-per-call reference across key lengths (shorter than,
+// equal to and beyond the SHA-256 block size) and arbitrary inputs.
+func TestHMACPRFMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, keyLen := range []int{0, 1, 16, 32, 63, 64, 65, 200} {
+		key := make([]byte, keyLen)
+		rng.Read(key)
+		p := newHMACPRF(key)
+		for trial := 0; trial < 50; trial++ {
+			label := byte(rng.Intn(256))
+			round := rng.Uint32()
+			x := rng.Uint64()
+			if got, want := p.sum64(label, round, x), prf(key, label, round, x); got != want {
+				t.Fatalf("keyLen=%d label=%#x round=%d x=%d: sum64=%#x, reference prf=%#x", keyLen, label, round, x, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexBatchMatchesIndexLargeDomain exercises the tiled batch path
+// with cycle walking at the paper's 153M-block scale, where the covering
+// power of two leaves ~43% of outputs walking at least once.
+func TestIndexBatchMatchesIndexLargeDomain(t *testing.T) {
+	const n = uint64(153008209)
+	f, err := NewFeistel(testKey(), n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 4; trial++ {
+		count := uint64(1 + rng.Intn(300)) // spans partial, single and multi tile
+		first := rng.Uint64() % (n - count)
+		dst := make([]uint64, count)
+		f.IndexBatch(first, dst)
+		for i, got := range dst {
+			if want := f.Index(first + uint64(i)); got != want {
+				t.Fatalf("trial %d: IndexBatch[%d]=%d, Index=%d", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestIndexBatchOutOfDomainPanics(t *testing.T) {
+	f, _ := NewFeistel(testKey(), 10, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-domain batch did not panic")
+		}
+	}()
+	f.IndexBatch(5, make([]uint64, 6))
 }
 
 func TestIndexBatchMatchesIndex(t *testing.T) {

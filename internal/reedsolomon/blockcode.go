@@ -38,7 +38,10 @@ func (bc *BlockCode) DataBlocks() int { return bc.code.K() }
 func (bc *BlockCode) ChunkBlocks() int { return bc.code.N() }
 
 // EncodeChunk encodes exactly k·blockSize bytes of data into n·blockSize
-// bytes (data blocks followed by parity blocks).
+// bytes (data blocks followed by parity blocks). Each of the blockSize
+// interleaved stripes is driven through the code's slab reducer with one
+// scratch buffer reused across stripes — no per-codeword allocation and
+// no full column gather/scatter of the data blocks.
 func (bc *BlockCode) EncodeChunk(data []byte) ([]byte, error) {
 	k, n, bs := bc.code.K(), bc.code.N(), bc.blockSize
 	if len(data) != k*bs {
@@ -46,17 +49,17 @@ func (bc *BlockCode) EncodeChunk(data []byte) ([]byte, error) {
 	}
 	out := make([]byte, n*bs)
 	copy(out, data)
-	col := make([]byte, k)
+	rem := make([]byte, bc.code.red.Scratch(k))
 	for j := 0; j < bs; j++ {
 		for b := 0; b < k; b++ {
-			col[b] = data[b*bs+j]
+			rem[b] = data[b*bs+j]
 		}
-		cw, err := bc.code.Encode(col)
-		if err != nil {
-			return nil, err
+		for i := k; i < len(rem); i++ {
+			rem[i] = 0
 		}
+		bc.code.red.Reduce(rem, k)
 		for b := k; b < n; b++ {
-			out[b*bs+j] = cw[b]
+			out[b*bs+j] = rem[b]
 		}
 	}
 	return out, nil
@@ -66,6 +69,13 @@ func (bc *BlockCode) EncodeChunk(data []byte) ([]byte, error) {
 // chunk, correcting corrupted blocks. badBlocks optionally lists block
 // indexes within the chunk known to be unreliable (treated as erasures in
 // every interleaved codeword).
+//
+// Each stripe first passes through a cheap all-syndromes-zero parity
+// check (one slab reduction); clean stripes — the honest-prover common
+// case — copy straight out and never touch the Berlekamp-Massey / Chien /
+// Forney machinery. Erasure hints cannot change the result for a stripe
+// that already is a valid codeword, so the fast path is byte-identical to
+// the full decode.
 func (bc *BlockCode) DecodeChunk(chunk []byte, badBlocks []int) ([]byte, error) {
 	k, n, bs := bc.code.K(), bc.code.N(), bc.blockSize
 	if len(chunk) != n*bs {
@@ -76,18 +86,25 @@ func (bc *BlockCode) DecodeChunk(chunk []byte, badBlocks []int) ([]byte, error) 
 			return nil, fmt.Errorf("%w: block %d", ErrBadErasurePos, b)
 		}
 	}
+	if len(badBlocks) > n-k {
+		// Same verdict the symbol decoder reaches on its first stripe.
+		return nil, fmt.Errorf("stripe 0: %w", ErrTooManyErrors)
+	}
 	out := make([]byte, k*bs)
 	cw := make([]byte, n)
+	scratch := make([]byte, bc.code.red.Scratch(k))
 	for j := 0; j < bs; j++ {
 		for b := 0; b < n; b++ {
 			cw[b] = chunk[b*bs+j]
 		}
-		data, err := bc.code.Decode(cw, badBlocks)
-		if err != nil {
-			return nil, fmt.Errorf("stripe %d: %w", j, err)
+		if r := bc.code.remainder(scratch, cw); !allZero(r) {
+			synd := bc.code.syndromesFromRemainder(r)
+			if err := bc.code.correct(cw, synd, badBlocks, scratch); err != nil {
+				return nil, fmt.Errorf("stripe %d: %w", j, err)
+			}
 		}
 		for b := 0; b < k; b++ {
-			out[b*bs+j] = data[b]
+			out[b*bs+j] = cw[b]
 		}
 	}
 	return out, nil

@@ -1,0 +1,107 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// fuzzShapes bounds the geometries FuzzRSRoundTrip explores; small enough
+// to keep each execution fast, varied enough to cover sub-word, exact-word
+// and multi-word parity rows.
+var fuzzShapes = []struct{ n, k int }{
+	{255, 223}, {63, 47}, {31, 21}, {15, 11}, {20, 4}, {7, 3},
+}
+
+var fuzzCodes = func() []*Code {
+	out := make([]*Code, len(fuzzShapes))
+	for i, s := range fuzzShapes {
+		out[i] = MustNew(s.n, s.k)
+	}
+	return out
+}()
+
+// FuzzRSRoundTrip checks the decoder's two contractual guarantees over
+// random data, error and erasure patterns:
+//
+//  1. any damage within the guarantee 2·errors + erasures ≤ n-k decodes
+//     back to the original data, and
+//  2. corruption beyond T unmarked errors returns ErrTooManyErrors — the
+//     decoder must never hand back wrong data as a success.
+func FuzzRSRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(3), uint8(4))
+	f.Add(int64(2), uint8(1), uint8(16), uint8(0))
+	f.Add(int64(3), uint8(2), uint8(0), uint8(16))
+	f.Add(int64(4), uint8(3), uint8(5), uint8(6))
+	f.Add(int64(5), uint8(4), uint8(20), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, shape, rawErr, rawEra uint8) {
+		c := fuzzCodes[int(shape)%len(fuzzCodes)]
+		n, k := c.N(), c.K()
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, k)
+		rng.Read(data)
+		cw, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Verify(cw); err != nil {
+			t.Fatalf("fresh codeword fails Verify: %v", err)
+		}
+
+		budget := n - k
+		nEra := int(rawEra) % (budget + 1)
+		nErr := 0
+		if free := (budget - nEra) / 2; free > 0 {
+			nErr = int(rawErr) % (free + 1)
+		}
+		perm := rng.Perm(n)
+		corrupted := append([]byte(nil), cw...)
+		erasures := perm[:nEra]
+		for _, p := range erasures {
+			// Erased positions may hold anything, including the original.
+			rng.Read(corrupted[p : p+1])
+		}
+		for _, p := range perm[nEra : nEra+nErr] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, err := c.Decode(corrupted, erasures)
+		if err != nil {
+			t.Fatalf("n=%d k=%d errors=%d erasures=%d: %v", n, k, nErr, nEra, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d k=%d errors=%d erasures=%d: decoded wrong data", n, k, nErr, nEra)
+		}
+
+		// Beyond-capacity damage: more than T unmarked errors leave the
+		// received word more than T away from the original, so decoding
+		// can never return the original data. For a random error pattern
+		// the decoder almost always reports ErrTooManyErrors; with
+		// probability ≈ 1/T! it may instead miscorrect to a *different*
+		// valid codeword, which is information-theoretically unavoidable
+		// for any bounded-distance decoder. For the paper's T=16 code
+		// that probability is ~5e-14, so there the strict error is
+		// asserted; for the small fuzz shapes only the "never wrong data
+		// as a silent success" half of the contract is checkable.
+		over := c.T() + 1 + rng.Intn(budget-c.T())
+		corrupted = append(corrupted[:0], cw...)
+		for _, p := range rng.Perm(n)[:over] {
+			corrupted[p] ^= byte(1 + rng.Intn(255))
+		}
+		got, err = c.Decode(corrupted, nil)
+		switch {
+		case err == nil:
+			if c.T() >= 16 {
+				t.Fatalf("n=%d k=%d: %d errors (beyond T=%d) decoded without error", n, k, over, c.T())
+			}
+			if bytes.Equal(got, data) {
+				t.Fatalf("n=%d k=%d: decoder returned the original data from %d > T errors", n, k, over)
+			}
+			if verr := c.Verify(corrupted); verr != nil {
+				t.Fatalf("n=%d k=%d: beyond-capacity 'success' left an inconsistent word: %v", n, k, verr)
+			}
+		case !errors.Is(err, ErrTooManyErrors):
+			t.Fatalf("n=%d k=%d: beyond-capacity decode gave unexpected error: %v", n, k, err)
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package reedsolomon
+
+import (
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// This file retains the pre-slab byte-at-a-time implementations of the
+// encoder and the syndrome computation. They are not wired into any
+// production path: the differential tests pin the slab engine's output
+// byte-identical to these oracles across code shapes, so a bug in the
+// word-batched kernels cannot silently change the bits a file is encoded
+// or audited with.
+
+// encodeRef is the reference systematic encoder: schoolbook polynomial
+// division of data(x)·x^(n-k) by g(x), one log/exp multiply per byte.
+func (c *Code) encodeRef(data []byte) ([]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data symbols, want %d", ErrWrongLength, len(data), c.k)
+	}
+	cw := make([]byte, c.n)
+	copy(cw, data)
+	rem := make([]byte, c.n)
+	copy(rem, data)
+	inv := gf256.Inv(c.gen[0])
+	for i := 0; i < c.k; i++ {
+		f := gf256.Mul(rem[i], inv)
+		if f == 0 {
+			continue
+		}
+		for j, g := range c.gen {
+			rem[i+j] ^= gf256.Mul(f, g)
+		}
+	}
+	copy(cw[c.k:], rem[c.k:])
+	return cw, nil
+}
+
+// syndromesRef is the reference syndrome computation: S_i = cw(α^i) by
+// full-length Horner evaluation for i = 1..n-k.
+func (c *Code) syndromesRef(cw []byte) []byte {
+	out := make([]byte, c.n-c.k)
+	for i := range out {
+		out[i] = gf256.PolyVal(cw, gf256.Exp(i+1))
+	}
+	return out
+}

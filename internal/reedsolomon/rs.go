@@ -39,9 +39,19 @@ var (
 
 // Code is a systematic RS(n, k) code over GF(2^8) with first consecutive
 // root α^1 (fcr = 1). It is safe for concurrent use once constructed.
+//
+// The data plane is a table-driven slab engine built at construction: a
+// gf256.Reducer holding the 256 word-packed multiples of the generator
+// polynomial drives encoding (parity = data·x^(n-k) mod g), verification
+// (cw mod g == 0) and the clean-decode fast path, and per-root
+// multiplication rows turn syndrome evaluation into chained table lookups
+// over the (n-k)-coefficient remainder instead of Horner over all n
+// symbols.
 type Code struct {
-	n, k int
-	gen  []byte // generator polynomial, descending order, degree n-k
+	n, k    int
+	gen     []byte         // generator polynomial, descending order, degree n-k
+	red     *gf256.Reducer // slab reduction mod gen: encode/verify hot path
+	synRows []*[256]byte   // synRows[i] = multiplication row of α^(i+1)
 }
 
 // New constructs an RS(n, k) code. n must be at most 255 and k must satisfy
@@ -55,7 +65,11 @@ func New(n, k int) (*Code, error) {
 	for i := 1; i <= n-k; i++ {
 		gen = gf256.PolyMul(gen, []byte{1, gf256.Exp(i)})
 	}
-	return &Code{n: n, k: k, gen: gen}, nil
+	synRows := make([]*[256]byte, n-k)
+	for i := range synRows {
+		synRows[i] = gf256.MulRow(gf256.Exp(i + 1))
+	}
+	return &Code{n: n, k: k, gen: gen, red: gf256.NewReducer(gen), synRows: synRows}, nil
 }
 
 // MustNew is New for statically known-good parameters; it panics on error
@@ -86,20 +100,25 @@ func (c *Code) Encode(data []byte) ([]byte, error) {
 	cw := make([]byte, c.n)
 	copy(cw, data)
 	// Remainder of data(x)·x^(n-k) mod g(x) gives the parity symbols.
-	rem := make([]byte, c.n)
+	rem := make([]byte, c.red.Scratch(c.k))
 	copy(rem, data)
-	inv := gf256.Inv(c.gen[0])
-	for i := 0; i < c.k; i++ {
-		f := gf256.Mul(rem[i], inv)
-		if f == 0 {
-			continue
-		}
-		for j, g := range c.gen {
-			rem[i+j] ^= gf256.Mul(f, g)
-		}
-	}
-	copy(cw[c.k:], rem[c.k:])
+	c.red.Reduce(rem, c.k)
+	copy(cw[c.k:], rem[c.k:c.n])
 	return cw, nil
+}
+
+// remainder computes cw mod g into the caller's scratch buffer (length at
+// least Scratch(k)) and returns the n-k remainder coefficients. The
+// remainder is zero exactly when cw is a valid codeword, because g divides
+// every codeword and only those — the slab-engine equivalent of computing
+// all syndromes.
+func (c *Code) remainder(scratch, cw []byte) []byte {
+	n := copy(scratch, cw)
+	for i := n; i < len(scratch); i++ {
+		scratch[i] = 0
+	}
+	c.red.Reduce(scratch, c.k)
+	return scratch[c.k:c.n]
 }
 
 // Verify reports whether cw is a valid codeword (all syndromes zero).
@@ -107,10 +126,8 @@ func (c *Code) Verify(cw []byte) error {
 	if len(cw) != c.n {
 		return fmt.Errorf("%w: got %d symbols, want %d", ErrWrongLength, len(cw), c.n)
 	}
-	for _, s := range c.syndromes(cw) {
-		if s != 0 {
-			return ErrVerifyMismatch
-		}
+	if !allZero(c.remainder(make([]byte, c.red.Scratch(c.k)), cw)) {
+		return ErrVerifyMismatch
 	}
 	return nil
 }
@@ -131,11 +148,24 @@ func (c *Code) Decode(cw []byte, erasures []int) ([]byte, error) {
 		return nil, ErrTooManyErrors
 	}
 
-	synd := c.syndromes(cw)
-	if allZero(synd) {
+	// Clean fast path: one slab reduction decides whether any error
+	// machinery is needed at all.
+	scratch := make([]byte, c.red.Scratch(c.k))
+	r := c.remainder(scratch, cw)
+	if allZero(r) {
 		return cw[:c.k], nil
 	}
+	if err := c.correct(cw, c.syndromesFromRemainder(r), erasures, scratch); err != nil {
+		return nil, err
+	}
+	return cw[:c.k], nil
+}
 
+// correct repairs cw in place given its (nonzero) syndromes, treating the
+// listed erasure positions as known-bad. scratch is a Scratch(k)-sized
+// buffer reused for the final parity re-check. The caller has already
+// validated erasure positions and count.
+func (c *Code) correct(cw, synd []byte, erasures []int, scratch []byte) error {
 	// Erasure locator Γ(x) = Π (1 - x·α^{pos'}) where pos' is the
 	// power-of-α position index counted from the highest-degree symbol.
 	gamma := []byte{1} // ascending order
@@ -150,30 +180,38 @@ func (c *Code) Decode(cw []byte, erasures []int) ([]byte, error) {
 
 	lambda, err := c.berlekampMassey(fsynd)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	// Full locator = error locator × erasure locator.
 	locator := mulAsc(lambda, gamma)
 
 	positions, err := c.chienSearch(locator)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if err := c.forney(cw, synd, locator, positions); err != nil {
-		return nil, err
+		return err
 	}
-	if !allZero(c.syndromes(cw)) {
-		return nil, ErrTooManyErrors
+	if !allZero(c.remainder(scratch, cw)) {
+		return ErrTooManyErrors
 	}
-	return cw[:c.k], nil
+	return nil
 }
 
-// syndromes returns S_i = cw(α^i) for i = 1..n-k (ascending slice index
-// i-1).
-func (c *Code) syndromes(cw []byte) []byte {
+// syndromesFromRemainder evaluates S_i = r(α^i) for i = 1..n-k over the
+// n-k remainder coefficients r = cw mod g (descending order). Because
+// g(α^i) = 0 for every root, r(α^i) equals cw(α^i) exactly, so these are
+// the classical syndromes at a fraction of the work: a Horner chain of
+// n-k table-row lookups per syndrome instead of n multiplies.
+func (c *Code) syndromesFromRemainder(r []byte) []byte {
 	out := make([]byte, c.n-c.k)
 	for i := range out {
-		out[i] = gf256.PolyVal(cw, gf256.Exp(i+1))
+		row := c.synRows[i]
+		var y byte
+		for _, v := range r {
+			y = row[y] ^ v
+		}
+		out[i] = y
 	}
 	return out
 }

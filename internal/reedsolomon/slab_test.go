@@ -1,0 +1,207 @@
+package reedsolomon
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// diffShapes are the (n, k, blockSize) geometries the differential tests
+// sweep: the paper's code, small and odd shapes, minimal parity, and
+// parity widths on both sides of the reducer's four-word fast path.
+var diffShapes = []struct{ n, k, bs int }{
+	{255, 223, 16}, // the paper's code
+	{255, 223, 1},
+	{255, 191, 8}, // 64 parity symbols: wider than the 4-word fast path
+	{255, 251, 4}, // 4 parity symbols: sub-word row
+	{64, 48, 8},
+	{63, 47, 3},
+	{15, 11, 4},
+	{10, 2, 5},
+	{3, 1, 2},
+}
+
+// TestSlabEncodeMatchesReference pins the slab encoder byte-identical to
+// the retained byte-at-a-time oracle across shapes and random payloads.
+func TestSlabEncodeMatchesReference(t *testing.T) {
+	for _, s := range diffShapes {
+		c := MustNew(s.n, s.k)
+		rng := rand.New(rand.NewSource(int64(s.n*1000 + s.k)))
+		for trial := 0; trial < 50; trial++ {
+			data := make([]byte, s.k)
+			rng.Read(data)
+			if trial == 0 {
+				data = make([]byte, s.k) // all-zero edge case
+			}
+			want, err := c.encodeRef(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("(%d,%d) trial %d: slab encode differs from reference", s.n, s.k, trial)
+			}
+		}
+	}
+}
+
+// TestSlabSyndromesMatchReference pins the remainder-form syndrome
+// evaluation byte-identical to full-length Horner over clean, lightly
+// corrupted and random (non-codeword) words.
+func TestSlabSyndromesMatchReference(t *testing.T) {
+	for _, s := range diffShapes {
+		c := MustNew(s.n, s.k)
+		rng := rand.New(rand.NewSource(int64(s.n*1000+s.k) + 7))
+		scratch := make([]byte, c.red.Scratch(c.k))
+		for trial := 0; trial < 50; trial++ {
+			data := make([]byte, s.k)
+			rng.Read(data)
+			cw, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch trial % 3 {
+			case 1: // a few symbol errors
+				for _, p := range rng.Perm(s.n)[:1+trial%3] {
+					cw[p] ^= byte(1 + rng.Intn(255))
+				}
+			case 2: // arbitrary word, not near any codeword
+				rng.Read(cw)
+			}
+			want := c.syndromesRef(cw)
+			got := c.syndromesFromRemainder(c.remainder(scratch, cw))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("(%d,%d) trial %d: slab syndromes %x != reference %x", s.n, s.k, trial, got, want)
+			}
+			if zero := allZero(want); zero != (trial%3 == 0) && trial%3 != 2 {
+				t.Fatalf("(%d,%d) trial %d: unexpected syndrome zero-ness %v", s.n, s.k, trial, zero)
+			}
+		}
+	}
+}
+
+// TestChunkRoundTripShapes drives EncodeChunk/DecodeChunk across the full
+// shape sweep with damage patterns at, below and above the erasure budget.
+func TestChunkRoundTripShapes(t *testing.T) {
+	for _, s := range diffShapes {
+		bc, err := NewBlockCode(MustNew(s.n, s.k), s.bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(s.n + s.k + s.bs)))
+		data := make([]byte, s.k*s.bs)
+		rng.Read(data)
+		chunk, err := bc.EncodeChunk(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Clean chunk round-trips, with and without (harmless) hints.
+		for _, hints := range [][]int{nil, {0}} {
+			got, err := bc.DecodeChunk(append([]byte(nil), chunk...), hints)
+			if err != nil {
+				t.Fatalf("(%d,%d,bs%d) clean hints=%v: %v", s.n, s.k, s.bs, hints, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("(%d,%d,bs%d) clean hints=%v: data mismatch", s.n, s.k, s.bs, hints)
+			}
+		}
+
+		// Corrupt up to T blocks blind, up to n-k with erasure hints.
+		tcap := bc.Code().T()
+		if tcap > 0 {
+			corrupted := append([]byte(nil), chunk...)
+			bad := rng.Perm(s.n)[:tcap]
+			for _, b := range bad {
+				corrupted[b*s.bs] ^= byte(1 + rng.Intn(255))
+			}
+			got, err := bc.DecodeChunk(corrupted, nil)
+			if err != nil {
+				t.Fatalf("(%d,%d,bs%d) blind: %v", s.n, s.k, s.bs, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("(%d,%d,bs%d) blind: data mismatch", s.n, s.k, s.bs)
+			}
+		}
+		corrupted := append([]byte(nil), chunk...)
+		bad := rng.Perm(s.n)[:s.n-s.k]
+		for _, b := range bad {
+			rng.Read(corrupted[b*s.bs : (b+1)*s.bs])
+		}
+		got, err := bc.DecodeChunk(corrupted, bad)
+		if err != nil {
+			t.Fatalf("(%d,%d,bs%d) erasures: %v", s.n, s.k, s.bs, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("(%d,%d,bs%d) erasures: data mismatch", s.n, s.k, s.bs)
+		}
+
+		// More hints than the code can absorb fails up front.
+		tooMany := make([]int, s.n-s.k+1)
+		for i := range tooMany {
+			tooMany[i] = i
+		}
+		if _, err := bc.DecodeChunk(chunk, tooMany); !errors.Is(err, ErrTooManyErrors) {
+			t.Fatalf("(%d,%d,bs%d): over-budget hints gave %v", s.n, s.k, s.bs, err)
+		}
+	}
+}
+
+// TestDecodeChunkDoesNotMutateInput guards the contract por.Extract relies
+// on for its blind-decode fallback: a failed or successful DecodeChunk
+// leaves the chunk bytes untouched.
+func TestDecodeChunkDoesNotMutateInput(t *testing.T) {
+	bc, _ := NewBlockCode(MustNew(63, 47), 4)
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 47*4)
+	rng.Read(data)
+	chunk, _ := bc.EncodeChunk(data)
+	for _, b := range rng.Perm(63)[:5] {
+		rng.Read(chunk[b*4 : (b+1)*4])
+	}
+	snapshot := append([]byte(nil), chunk...)
+	if _, err := bc.DecodeChunk(chunk, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chunk, snapshot) {
+		t.Fatal("DecodeChunk mutated its input chunk")
+	}
+}
+
+// TestDecodeInPlaceContract: the symbol-level decoder corrects the
+// caller's slice in place (por relies only on the returned data, but the
+// documented contract predates the slab engine and must hold).
+func TestDecodeInPlaceContract(t *testing.T) {
+	c := MustNew(255, 223)
+	rng := rand.New(rand.NewSource(12))
+	data := make([]byte, 223)
+	rng.Read(data)
+	cw, _ := c.Encode(data)
+	want := append([]byte(nil), cw...)
+	cw[5] ^= 0x77
+	cw[200] ^= 0x01
+	if _, err := c.Decode(cw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cw, want) {
+		t.Fatal("Decode did not repair the codeword in place")
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	c := MustNew(255, 223)
+	data := make([]byte, 223)
+	rand.New(rand.NewSource(1)).Read(data)
+	cw, _ := c.Encode(data)
+	b.SetBytes(int64(len(cw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Verify(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
