@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -265,6 +266,59 @@ func BenchmarkPORExtract1MiB(b *testing.B) {
 		if !bytes.Equal(out, data) {
 			b.Fatal("extract mismatch")
 		}
+	}
+}
+
+// BenchmarkPORStreamEncode64MiB is the allocation-regression gate for the
+// streaming pipeline: it encodes a 64 MiB file into an *os.File target
+// while sampling heap growth, reports the peak, and fails outright if the
+// pipeline ever holds more than 1/4 of the file size resident — the
+// bound the in-memory path (~4.3× the file before the refactor, ~1.2×
+// after) can never meet. Concurrency is pinned to 4 so the
+// workers × chunk-group buffer budget is machine-independent.
+func BenchmarkPORStreamEncode64MiB(b *testing.B) {
+	const size = 64 << 20
+	enc := por.NewEncoder([]byte("bench-master")).WithConcurrency(4)
+	dir := b.TempDir()
+	inPath := filepath.Join(dir, "in")
+	encPath := filepath.Join(dir, "enc")
+	// True file-to-file shape: the input lives on disk, not in the heap,
+	// so the sampled growth is what the pipeline itself retains.
+	if err := os.WriteFile(inPath, benchData(size), 0o644); err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(size)
+	b.ReportAllocs()
+	b.ResetTimer()
+	_, growth, err := experiments.MeasurePeakAlloc(func() error {
+		for i := 0; i < b.N; i++ {
+			in, err := os.Open(inPath)
+			if err != nil {
+				return err
+			}
+			f, err := os.OpenFile(encPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				return err
+			}
+			if _, err := enc.EncodeStream("bench", in, size, f); err != nil {
+				return err
+			}
+			in.Close()
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(growth)/(1<<20), "peak-MiB")
+	if growth > size/4 {
+		b.Fatalf("streaming encode held %.1f MiB resident, over the %.0f MiB bound (file/4)",
+			float64(growth)/(1<<20), float64(size)/4/(1<<20))
 	}
 }
 

@@ -33,6 +33,7 @@ func run() error {
 	metaPath := flag.String("meta", "", "metadata sidecar (default <in>.meta.json)")
 	fileID := flag.String("id", "", "file identifier (default input basename)")
 	workers := flag.Int("j", 0, "setup pipeline concurrency (0 = all CPUs, 1 = sequential)")
+	stream := flag.Bool("stream", false, "stream file-to-file with bounded memory (never loads the whole file)")
 	flag.Parse()
 
 	if *in == "" {
@@ -48,25 +49,56 @@ func run() error {
 		*fileID = filepath.Base(*in)
 	}
 
-	data, err := os.ReadFile(*in)
-	if err != nil {
-		return fmt.Errorf("read input: %w", err)
-	}
 	master, err := crypt.NewMasterKey()
 	if err != nil {
 		return err
 	}
 	enc := por.NewEncoder(master).WithConcurrency(*workers)
-	ef, err := enc.Encode(*fileID, data)
-	if err != nil {
-		return fmt.Errorf("encode: %w", err)
+
+	var layout blockfile.Layout
+	if *stream {
+		// Streaming mode: chunk-pipelined encode from the input file
+		// straight into the output file; resident memory stays bounded by
+		// the worker pool's chunk buffers no matter the file size.
+		inF, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("open input: %w", err)
+		}
+		defer inF.Close()
+		st, err := inF.Stat()
+		if err != nil {
+			return fmt.Errorf("stat input: %w", err)
+		}
+		outF, err := os.OpenFile(*out, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("create encoded file: %w", err)
+		}
+		defer outF.Close()
+		layout, err = enc.EncodeStream(*fileID, inF, st.Size(), outF)
+		if err != nil {
+			return fmt.Errorf("encode stream: %w", err)
+		}
+		if err := outF.Close(); err != nil {
+			return fmt.Errorf("close encoded file: %w", err)
+		}
+	} else {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			return fmt.Errorf("read input: %w", err)
+		}
+		ef, err := enc.Encode(*fileID, data)
+		if err != nil {
+			return fmt.Errorf("encode: %w", err)
+		}
+		if err := os.WriteFile(*out, ef.Data, 0o644); err != nil {
+			return fmt.Errorf("write encoded file: %w", err)
+		}
+		layout = ef.Layout
 	}
-	if err := os.WriteFile(*out, ef.Data, 0o644); err != nil {
-		return fmt.Errorf("write encoded file: %w", err)
-	}
+
 	m := meta.Meta{
 		FileID:       *fileID,
-		OrigBytes:    int64(len(data)),
+		OrigBytes:    layout.OrigBytes,
 		Params:       blockfile.DefaultParams(),
 		MasterKeyHex: hex.EncodeToString(master),
 	}
@@ -74,7 +106,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("prepared %q: %d bytes -> %d encoded bytes (%.2f%% overhead), %d segments\n",
-		*fileID, len(data), len(ef.Data), ef.Layout.TotalOverhead()*100, ef.Layout.Segments)
+		*fileID, layout.OrigBytes, layout.EncodedBytes, layout.TotalOverhead()*100, layout.Segments)
 	fmt.Printf("upload %s to the provider; keep %s private\n", *out, *metaPath)
 	return nil
 }

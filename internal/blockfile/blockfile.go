@@ -143,6 +143,29 @@ func (l Layout) TotalOverhead() float64 {
 	return float64(l.EncodedBytes)/float64(l.OrigBytes) - 1
 }
 
+// ChunkDataBytes returns the byte length of one chunk's data blocks
+// (k·blockSize), the unit the streaming encoder reads per chunk.
+func (l Layout) ChunkDataBytes() int { return l.ChunkData * l.BlockSize }
+
+// ChunkTotalBytes returns the byte length of one error-corrected chunk
+// (n·blockSize), the unit the streaming pipeline encrypts and scatters.
+func (l Layout) ChunkTotalBytes() int { return l.ChunkTotal * l.BlockSize }
+
+// SegmentPayloadBytes returns the byte length of one segment's blocks,
+// excluding the embedded tag (v·blockSize).
+func (l Layout) SegmentPayloadBytes() int { return l.SegmentBlocks * l.BlockSize }
+
+// StoredBlockOffset returns the byte offset in the encoded file F̃ at which
+// permuted block d lives: blocks are grouped v per segment, and every
+// segment carries its trailing tag, so consecutive permuted positions are
+// contiguous bytes except across segment boundaries. This is the write
+// plan of the streaming encoder's scatter placer and the read plan of the
+// streaming extractor's gather.
+func (l Layout) StoredBlockOffset(d int64) int64 {
+	v := int64(l.SegmentBlocks)
+	return (d/v)*int64(l.SegmentSize()) + (d%v)*int64(l.BlockSize)
+}
+
 // SegmentOffset returns the byte offset of segment i in the encoded file.
 func (l Layout) SegmentOffset(i int64) (int64, error) {
 	if i < 0 || i >= l.Segments {

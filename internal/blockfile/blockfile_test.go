@@ -135,6 +135,45 @@ func TestSegmentOffset(t *testing.T) {
 	}
 }
 
+func TestStoredBlockOffset(t *testing.T) {
+	for _, size := range []int64{0, 100, 100000} {
+		l, err := NewLayout(DefaultParams(), size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Walking every permuted position segment by segment must land on
+		// the segment payloads exactly, skipping each embedded tag.
+		for d := int64(0); d < l.TotalBlocks; d++ {
+			seg := d / int64(l.SegmentBlocks)
+			within := d % int64(l.SegmentBlocks)
+			want := seg*int64(l.SegmentSize()) + within*int64(l.BlockSize)
+			if got := l.StoredBlockOffset(d); got != want {
+				t.Fatalf("size %d: StoredBlockOffset(%d)=%d, want %d", size, d, got, want)
+			}
+			if d > 100 {
+				d += l.TotalBlocks / 37 // sample large layouts instead of walking all
+			}
+		}
+		last := l.StoredBlockOffset(l.TotalBlocks-1) + int64(l.BlockSize) + int64(l.TagSize())
+		if last != l.EncodedBytes {
+			t.Fatalf("size %d: last block ends at %d, encoded bytes %d", size, last, l.EncodedBytes)
+		}
+	}
+}
+
+func TestChunkAndSegmentByteHelpers(t *testing.T) {
+	l, _ := NewLayout(DefaultParams(), 100000)
+	if got, want := l.ChunkDataBytes(), l.ChunkData*l.BlockSize; got != want {
+		t.Fatalf("ChunkDataBytes=%d want %d", got, want)
+	}
+	if got, want := l.ChunkTotalBytes(), l.ChunkTotal*l.BlockSize; got != want {
+		t.Fatalf("ChunkTotalBytes=%d want %d", got, want)
+	}
+	if got, want := l.SegmentPayloadBytes(), l.SegmentBlocks*l.BlockSize; got != want {
+		t.Fatalf("SegmentPayloadBytes=%d want %d", got, want)
+	}
+}
+
 func TestPadUnpadRoundTrip(t *testing.T) {
 	f := func(data []byte) bool {
 		l, err := NewLayout(DefaultParams(), int64(len(data)))

@@ -1,0 +1,67 @@
+package crypt
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+)
+
+// EncryptBlocks encrypts len(src)/blockSize independent blocks from src
+// into dst in ECB fashion: one tight loop over the cipher, no chaining.
+// It is the cipher.Block batching shim shared by the CTR keystream
+// generator below and by prp.Feistel's batched round function — both
+// assemble many independent block inputs into one contiguous buffer and
+// push them through here back to back, so the AES-NI units see a stream
+// of independent blocks instead of stalling on one block's latency chain.
+//
+// dst and src must have the same length, a multiple of b.BlockSize(), and
+// must either be identical or non-overlapping (the per-block Encrypt
+// calls enforce the usual crypto/cipher aliasing rules).
+func EncryptBlocks(b cipher.Block, dst, src []byte) {
+	bs := b.BlockSize()
+	for off := 0; off+bs <= len(src); off += bs {
+		b.Encrypt(dst[off:off+bs], src[off:off+bs])
+	}
+}
+
+// ctrLanes is how many counter blocks the keystream generator assembles
+// and encrypts per EncryptBlocks call: 64 lanes = 1 KiB of keystream,
+// small enough to live on the stack and in L1.
+const ctrLanes = 64
+
+// ctrXOR XORs data in place with the AES-CTR keystream that starts at
+// counter block ctr, skipping the first skip bytes of that first block.
+// The counter advances big-endian with carry across the whole block,
+// matching cipher.NewCTR, so (ctr = IV + offset/16, skip = offset%16)
+// reproduces the exact keystream bytes of one sequential CTR pass at any
+// byte offset. ctr is advanced in place.
+func ctrXOR(b cipher.Block, ctr []byte, data []byte, skip int) {
+	var ks, ctrs [ctrLanes * aes.BlockSize]byte
+	if skip > 0 {
+		b.Encrypt(ks[:aes.BlockSize], ctr)
+		m := len(data)
+		if max := aes.BlockSize - skip; m > max {
+			m = max
+		}
+		subtle.XORBytes(data[:m], data[:m], ks[skip:skip+m])
+		data = data[m:]
+		addToCounter(ctr, 1)
+	}
+	for len(data) > 0 {
+		blocks := (len(data) + aes.BlockSize - 1) / aes.BlockSize
+		if blocks > ctrLanes {
+			blocks = ctrLanes
+		}
+		for i := 0; i < blocks; i++ {
+			copy(ctrs[i*aes.BlockSize:], ctr)
+			addToCounter(ctr, 1)
+		}
+		EncryptBlocks(b, ks[:blocks*aes.BlockSize], ctrs[:blocks*aes.BlockSize])
+		m := len(data)
+		if max := blocks * aes.BlockSize; m > max {
+			m = max
+		}
+		subtle.XORBytes(data[:m], data[:m], ks[:m])
+		data = data[m:]
+	}
+}

@@ -113,6 +113,100 @@ func ForRange(workers, n int, fn func(lo, hi int) error) error {
 	})
 }
 
+// Pipeline runs a bounded producer/consumer stage: produce runs on the
+// calling goroutine and hands items to emit; up to workers goroutines run
+// consume on the emitted items, with at most depth items queued between
+// the two sides. Resident state is therefore bounded by
+// workers + depth + 1 in-flight items no matter how many are produced —
+// the property the streaming POR pipeline uses to hold O(workers ×
+// chunkSize) memory while I/O overlaps compute.
+//
+// workers ≤ 1 degenerates to the exact sequential loop on the calling
+// goroutine: emit invokes consume inline, so ordering and error behaviour
+// match a plain loop — the same "Concurrency 1 = sequential semantics"
+// guarantee the rest of this package makes.
+//
+// Error selection is deterministic: the error of the earliest-emitted
+// item whose consume failed wins; if no consume failed, the producer's
+// error is returned. After any failure emit returns that error, so the
+// producer can stop early; remaining queued items are drained without
+// being consumed.
+func Pipeline[T any](workers, depth int, produce func(emit func(T) error) error, consume func(T) error) error {
+	if depth < 0 {
+		depth = 0
+	}
+	if workers <= 1 {
+		var firstErr error
+		emit := func(item T) error {
+			if firstErr != nil {
+				return firstErr
+			}
+			if err := consume(item); err != nil {
+				firstErr = err
+			}
+			return firstErr
+		}
+		if err := produce(emit); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+
+	type seqItem struct {
+		seq  int64
+		item T
+	}
+	var (
+		ch       = make(chan seqItem, depth)
+		mu       sync.Mutex
+		firstSeq = int64(-1)
+		firstErr error
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+	)
+	record := func(seq int64, err error) {
+		mu.Lock()
+		if firstSeq == -1 || seq < firstSeq {
+			firstSeq, firstErr = seq, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for it := range ch {
+				if failed.Load() {
+					continue // drain without consuming so the producer never blocks
+				}
+				if err := consume(it.item); err != nil {
+					record(it.seq, err)
+				}
+			}
+		}()
+	}
+	var seq int64
+	emit := func(item T) error {
+		if failed.Load() {
+			mu.Lock()
+			err := firstErr
+			mu.Unlock()
+			return err
+		}
+		ch <- seqItem{seq: seq, item: item}
+		seq++
+		return nil
+	}
+	perr := produce(emit)
+	close(ch)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return perr
+}
+
 // Do runs every task concurrently with up to workers goroutines and
 // returns the first (lowest-index) error. It is For over a fixed task
 // list, for fanning out heterogeneous jobs such as auditing several

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestResolve(t *testing.T) {
@@ -102,6 +105,142 @@ func TestForRangeError(t *testing.T) {
 	})
 	if !errors.Is(err, wantErr) {
 		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPipelineDeliversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 500
+		var mu sync.Mutex
+		seen := make(map[int]int, n)
+		err := Pipeline(workers, 4,
+			func(emit func(int) error) error {
+				for i := 0; i < n; i++ {
+					if err := emit(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func(i int) error {
+				mu.Lock()
+				seen[i]++
+				mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != n {
+			t.Fatalf("workers=%d: consumed %d distinct items, want %d", workers, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d consumed %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestPipelineSequentialIsInline(t *testing.T) {
+	// workers <= 1 must interleave produce and consume on one goroutine in
+	// emission order.
+	var order []string
+	err := Pipeline(1, 8,
+		func(emit func(int) error) error {
+			for i := 0; i < 3; i++ {
+				order = append(order, fmt.Sprintf("p%d", i))
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(i int) error {
+			order = append(order, fmt.Sprintf("c%d", i))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "p0 c0 p1 c1 p2 c2"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestPipelineReturnsEarliestConsumerError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := Pipeline(workers, 2,
+			func(emit func(int) error) error {
+				for i := 0; i < 100; i++ {
+					if err := emit(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func(i int) error {
+				switch i {
+				case 7:
+					return errA
+				case 50:
+					time.Sleep(time.Millisecond)
+					return errB
+				}
+				return nil
+			})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: got %v, want earliest-emitted error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestPipelineStopsProducerAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		produced := 0
+		err := Pipeline(workers, 1,
+			func(emit func(int) error) error {
+				for i := 0; i < 1_000_000; i++ {
+					produced++
+					if err := emit(i); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func(i int) error {
+				if i == 3 {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: got %v", workers, err)
+		}
+		if produced == 1_000_000 {
+			t.Fatalf("workers=%d: producer ran to completion despite consumer failure", workers)
+		}
+	}
+}
+
+func TestPipelineProducerError(t *testing.T) {
+	boom := errors.New("producer boom")
+	err := Pipeline(4, 2,
+		func(emit func(int) error) error {
+			for i := 0; i < 10; i++ {
+				if err := emit(i); err != nil {
+					return err
+				}
+			}
+			return boom
+		},
+		func(int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want producer error", err)
 	}
 }
 

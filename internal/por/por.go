@@ -29,9 +29,9 @@
 package por
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/blockfile"
 	"repro/internal/crypt"
@@ -121,81 +121,24 @@ func (e *Encoder) pipeline(fileID string, layout blockfile.Layout) (crypt.KeySet
 }
 
 // Encode runs the full setup phase over file and returns the encoded file
-// ready to upload.
+// ready to upload. It drives the shared streaming chunk pipeline over an
+// in-memory target, so the only whole-file allocation is the returned
+// encoded buffer itself — the padded, error-corrected and permuted
+// intermediate slabs of the original formulation never materialise.
 func (e *Encoder) Encode(fileID string, file []byte) (*EncodedFile, error) {
 	layout, err := blockfile.NewLayout(e.params, int64(len(file)))
 	if err != nil {
 		return nil, fmt.Errorf("layout: %w", err)
 	}
-	keys, bc, tagger, perm, err := e.pipeline(fileID, layout)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: %w", err)
-	}
-	bs := layout.BlockSize
-	workers := e.Concurrency()
-
-	// Steps 1-2: pad to chunk boundary and error-correct each chunk.
-	// Chunks are independent codewords, so they encode in parallel.
-	padded := layout.Pad(file)
-	ecc := make([]byte, layout.TotalBlocks*int64(bs)) // includes segment padding blocks
-	chunkIn := layout.ChunkData * bs
-	chunkOut := layout.ChunkTotal * bs
-	err = parallel.For(workers, int(layout.Chunks), func(ci int) error {
-		c := int64(ci)
-		enc, err := bc.EncodeChunk(padded[c*int64(chunkIn) : (c+1)*int64(chunkIn)])
-		if err != nil {
-			return fmt.Errorf("ecc chunk %d: %w", c, err)
-		}
-		copy(ecc[c*int64(chunkOut):], enc)
-		return nil
-	})
+	sc, err := e.newStreamCoder(fileID, layout)
 	if err != nil {
 		return nil, err
 	}
-
-	// Step 3: encrypt F′ → F″ (CTR keystream over the whole buffer,
-	// including the zero segment-padding blocks so nothing leaks). The
-	// keystream is applied in counter-seeked shards.
-	if err := crypt.EncryptCTRParallel(workers, keys.Enc, fileID, ecc); err != nil {
-		return nil, fmt.Errorf("encrypt: %w", err)
-	}
-
-	// Step 4: permute blocks F″ → F‴. The permutation is a bijection, so
-	// concurrent shards write disjoint destination blocks.
-	permuted := make([]byte, len(ecc))
-	err = parallel.ForRange(workers, int(layout.TotalBlocks), func(lo, hi int) error {
-		dsts := make([]uint64, hi-lo)
-		perm.IndexBatch(uint64(lo), dsts)
-		for i, d := range dsts {
-			b := int64(lo + i)
-			dst := int64(d)
-			copy(permuted[dst*int64(bs):(dst+1)*int64(bs)], ecc[b*int64(bs):(b+1)*int64(bs)])
-		}
-		return nil
-	})
-	if err != nil {
+	out := NewMemTarget(layout.EncodedBytes)
+	if err := sc.encodeTo(bytes.NewReader(file), int64(len(file)), out); err != nil {
 		return nil, err
 	}
-
-	// Step 5: segment and embed tags F‴ → F̃, one shard of segments per
-	// worker (Tagger is safe for concurrent use).
-	segSize := layout.SegmentSize()
-	segBytes := layout.SegmentBlocks * bs
-	out := make([]byte, layout.Segments*int64(segSize))
-	err = parallel.ForRange(workers, int(layout.Segments), func(lo, hi int) error {
-		for s := int64(lo); s < int64(hi); s++ {
-			seg := permuted[s*int64(segBytes) : (s+1)*int64(segBytes)]
-			off := s * int64(segSize)
-			copy(out[off:], seg)
-			tag := tagger.Tag(seg, uint64(s), fileID)
-			copy(out[off+int64(segBytes):], tag)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &EncodedFile{FileID: fileID, Layout: layout, Data: out}, nil
+	return &EncodedFile{FileID: fileID, Layout: layout, Data: out.B}, nil
 }
 
 // VerifySegment checks the embedded tag of raw segment bytes (segment
@@ -255,114 +198,25 @@ func (e *Encoder) VerifySegments(fileID string, layout blockfile.Layout, indices
 // bytes. Segments whose tags fail verification are treated as suspect and
 // their blocks become Reed-Solomon erasures, which doubles the correction
 // budget compared to blind error decoding.
+//
+// Aliasing contract: data is only ever read — never modified, copied
+// wholesale, or retained past the call. (Earlier versions copied the
+// whole input before un-permuting; the shared chunk pipeline gathers
+// blocks directly from data instead, so the defensive copy and the
+// full-size permuted/ecc staging slabs are gone.) The caller must not
+// mutate data concurrently with the call; the returned slice is freshly
+// allocated and never aliases data.
 func (e *Encoder) Extract(fileID string, layout blockfile.Layout, data []byte) ([]byte, error) {
 	if int64(len(data)) != layout.EncodedBytes {
 		return nil, fmt.Errorf("%w: %d bytes, want %d", ErrBadEncoding, len(data), layout.EncodedBytes)
 	}
-	keys, bc, tagger, perm, err := e.pipeline(fileID, layout)
-	if err != nil {
-		return nil, fmt.Errorf("pipeline: %w", err)
-	}
-	bs := layout.BlockSize
-	segSize := layout.SegmentSize()
-	segBytes := layout.SegmentBlocks * bs
-	workers := e.Concurrency()
-
-	// Strip tags, remembering which segments are suspect. Each worker
-	// owns a contiguous run of segments, so writes never overlap.
-	permuted := make([]byte, layout.TotalBlocks*int64(bs))
-	suspectSeg := make([]bool, layout.Segments)
-	parallel.ForRange(workers, int(layout.Segments), func(lo, hi int) error {
-		for s := int64(lo); s < int64(hi); s++ {
-			off := s * int64(segSize)
-			seg := data[off : off+int64(segBytes)]
-			tag := data[off+int64(segBytes) : off+int64(segSize)]
-			if !tagger.VerifyTag(seg, uint64(s), fileID, tag) {
-				suspectSeg[s] = true
-			}
-			copy(permuted[s*int64(segBytes):], seg)
-		}
-		return nil
-	})
-
-	// Un-permute F‴ → F″ and propagate suspicion to block granularity,
-	// counting suspects per chunk so the decode stage can tell clean
-	// chunks apart without rescanning every block. Worker block ranges do
-	// not align with chunk boundaries, so each worker tallies into a
-	// local map (almost always empty — honest provers produce no
-	// suspects) and merges under a mutex.
-	ecc := make([]byte, len(permuted))
-	suspectBlock := make([]bool, layout.TotalBlocks)
-	suspectInChunk := make([]int32, layout.Chunks)
-	var suspectMu sync.Mutex
-	parallel.ForRange(workers, int(layout.TotalBlocks), func(lo, hi int) error {
-		srcs := make([]uint64, hi-lo)
-		perm.IndexBatch(uint64(lo), srcs)
-		local := make(map[int64]int32)
-		for i, s := range srcs {
-			b := int64(lo + i)
-			src := int64(s) // block b was stored at position src
-			copy(ecc[b*int64(bs):(b+1)*int64(bs)], permuted[src*int64(bs):(src+1)*int64(bs)])
-			if suspectSeg[src/int64(layout.SegmentBlocks)] {
-				suspectBlock[b] = true
-				// Blocks at or past ECCBlocks are segment padding: they
-				// belong to no chunk and are never decoded.
-				if b < layout.ECCBlocks {
-					local[b/int64(layout.ChunkTotal)]++
-				}
-			}
-		}
-		if len(local) > 0 {
-			suspectMu.Lock()
-			for c, n := range local {
-				suspectInChunk[c] += n
-			}
-			suspectMu.Unlock()
-		}
-		return nil
-	})
-
-	// Decrypt F″ → F′.
-	if err := crypt.EncryptCTRParallel(workers, keys.Enc, fileID, ecc); err != nil {
-		return nil, fmt.Errorf("decrypt: %w", err)
-	}
-
-	// Error-correct each chunk, with suspect blocks as erasures. Chunks
-	// with no suspect segments — every chunk, for an honest prover —
-	// skip the erasure scan and hand DecodeChunk a nil hint list, and
-	// DecodeChunk's all-syndromes-zero parity pass then skips the full
-	// decoder per stripe, so clean recovery runs at encode speed. When a
-	// chunk has more erasures than the code can absorb, fall back to
-	// blind error decoding, which may still succeed if tags were
-	// damaged but payloads intact. Chunks decode independently; the
-	// reported error is the lowest-numbered failing chunk's, as in the
-	// sequential loop.
-	plain := make([]byte, layout.PaddedBlocks*int64(bs))
-	chunkIn := layout.ChunkData * bs
-	chunkOut := layout.ChunkTotal * bs
-	err = parallel.For(workers, int(layout.Chunks), func(ci int) error {
-		c := int64(ci)
-		chunk := ecc[c*int64(chunkOut) : (c+1)*int64(chunkOut)]
-		var erasures []int
-		if suspectInChunk[c] > 0 && int(suspectInChunk[c]) <= layout.ChunkTotal-layout.ChunkData {
-			for b := 0; b < layout.ChunkTotal; b++ {
-				if suspectBlock[c*int64(layout.ChunkTotal)+int64(b)] {
-					erasures = append(erasures, b)
-				}
-			}
-		}
-		dec, err := bc.DecodeChunk(chunk, erasures)
-		if err != nil && erasures != nil {
-			dec, err = bc.DecodeChunk(chunk, nil)
-		}
-		if err != nil {
-			return fmt.Errorf("chunk %d: %w: %v", c, ErrUnrecoverable, err)
-		}
-		copy(plain[c*int64(chunkIn):], dec)
-		return nil
-	})
+	sc, err := e.newStreamCoder(fileID, layout)
 	if err != nil {
 		return nil, err
 	}
-	return layout.Unpad(plain)
+	out := NewMemTarget(layout.OrigBytes)
+	if err := sc.extractTo(&MemTarget{B: data}, out); err != nil {
+		return nil, err
+	}
+	return out.B, nil
 }

@@ -1,0 +1,230 @@
+package por
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// streamShapes is the shape sweep for the stream/in-memory equivalence
+// tests with the smallParams geometry (11 data blocks of 4 bytes = one
+// 44-byte chunk):
+//
+//	0      — empty file (still one padded block)
+//	1      — sub-block tail
+//	44     — exactly one chunk (chunk == file)
+//	43, 45 — one byte either side of a chunk boundary
+//	500    — several chunks with an odd tail
+//	4096   — block-aligned multi-chunk
+var streamShapes = []int{0, 1, 43, 44, 45, 500, 4096}
+
+// TestEncodeStreamMatchesEncode is the core equivalence property: for the
+// shape sweep at Concurrency 1 (exact sequential), 0 (NumCPU) and 8, the
+// streamed encoding into a MemTarget is byte-identical to Encode, and the
+// returned layouts agree.
+func TestEncodeStreamMatchesEncode(t *testing.T) {
+	for _, conc := range []int{1, 0, 8} {
+		e := newTestEncoder().WithConcurrency(conc)
+		for _, n := range streamShapes {
+			file := testFile(int64(n)+100, n)
+			want, err := e.Encode("f", file)
+			if err != nil {
+				t.Fatalf("conc=%d n=%d: encode: %v", conc, n, err)
+			}
+			tgt := NewMemTarget(want.Layout.EncodedBytes)
+			layout, err := e.EncodeStream("f", bytes.NewReader(file), int64(len(file)), tgt)
+			if err != nil {
+				t.Fatalf("conc=%d n=%d: encode stream: %v", conc, n, err)
+			}
+			if layout != want.Layout {
+				t.Fatalf("conc=%d n=%d: stream layout differs", conc, n)
+			}
+			if !bytes.Equal(tgt.B, want.Data) {
+				t.Fatalf("conc=%d n=%d: streamed bytes differ from Encode", conc, n)
+			}
+		}
+	}
+}
+
+// TestExtractStreamMatchesExtract checks the recovery side of the sweep:
+// streaming extraction of a clean encoding reproduces the original file
+// and matches Extract exactly.
+func TestExtractStreamMatchesExtract(t *testing.T) {
+	for _, conc := range []int{1, 0, 8} {
+		e := newTestEncoder().WithConcurrency(conc)
+		for _, n := range streamShapes {
+			file := testFile(int64(n)+200, n)
+			enc, err := e.Encode("f", file)
+			if err != nil {
+				t.Fatalf("conc=%d n=%d: %v", conc, n, err)
+			}
+			want, err := e.Extract("f", enc.Layout, enc.Data)
+			if err != nil {
+				t.Fatalf("conc=%d n=%d: extract: %v", conc, n, err)
+			}
+			out := NewMemTarget(enc.Layout.OrigBytes)
+			if err := e.ExtractStream("f", enc.Layout, &MemTarget{B: enc.Data}, out); err != nil {
+				t.Fatalf("conc=%d n=%d: extract stream: %v", conc, n, err)
+			}
+			if !bytes.Equal(out.B, want) || !bytes.Equal(out.B, file) {
+				t.Fatalf("conc=%d n=%d: streamed extraction mismatch", conc, n)
+			}
+		}
+	}
+}
+
+// TestExtractStreamRecoversFromCorruption injects segment corruption into
+// the encoded bytes and checks the streaming extractor repairs it through
+// the MAC-erasure path, matching the in-memory Extract verdict.
+func TestExtractStreamRecoversFromCorruption(t *testing.T) {
+	for _, conc := range []int{1, 8} {
+		e := newTestEncoder().WithConcurrency(conc)
+		file := testFile(91, 3000)
+		enc, err := e.Encode("f", file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(92))
+		segSize := enc.Layout.SegmentSize()
+		data := append([]byte(nil), enc.Data...)
+		// Corrupt three scattered whole segments (payload and tag).
+		for _, s := range rng.Perm(int(enc.Layout.Segments))[:3] {
+			rng.Read(data[s*segSize : (s+1)*segSize])
+		}
+		want, err := e.Extract("f", enc.Layout, data)
+		if err != nil {
+			t.Fatalf("conc=%d: in-memory extract: %v", conc, err)
+		}
+		out := NewMemTarget(enc.Layout.OrigBytes)
+		if err := e.ExtractStream("f", enc.Layout, &MemTarget{B: data}, out); err != nil {
+			t.Fatalf("conc=%d: stream extract: %v", conc, err)
+		}
+		if !bytes.Equal(out.B, want) || !bytes.Equal(out.B, file) {
+			t.Fatalf("conc=%d: corrupted round trip mismatch", conc)
+		}
+	}
+}
+
+// TestExtractStreamFailsWhenDestroyed mirrors TestExtractFailsWhenDestroyed
+// for the streaming path: wholesale corruption must surface
+// ErrUnrecoverable, not silently wrong bytes.
+func TestExtractStreamFailsWhenDestroyed(t *testing.T) {
+	e := newTestEncoder()
+	file := testFile(93, 2000)
+	enc, err := e.Encode("f", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(94))
+	data := make([]byte, len(enc.Data))
+	rng.Read(data)
+	out := NewMemTarget(enc.Layout.OrigBytes)
+	if err := e.ExtractStream("f", enc.Layout, &MemTarget{B: data}, out); err == nil {
+		t.Fatal("extraction of destroyed data succeeded")
+	}
+}
+
+// TestStreamFileToFile runs the advertised production shape: encode from
+// a plain file into an *os.File target, then extract back file-to-file,
+// comparing both the encoded bytes and the recovered plaintext against
+// the in-memory pipeline.
+func TestStreamFileToFile(t *testing.T) {
+	e := newTestEncoder().WithConcurrency(2)
+	file := testFile(95, 5000)
+	want, err := e.Encode("f", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	encF, err := os.CreateTemp(t.TempDir(), "enc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encF.Close()
+	layout, err := e.EncodeStream("f", bytes.NewReader(file), int64(len(file)), encF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(encF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Data) {
+		t.Fatal("file-target encoding differs from in-memory encoding")
+	}
+
+	outF, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outF.Close()
+	if err := e.ExtractStream("f", layout, encF, outF); err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(outF.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, file) {
+		t.Fatal("file-to-file round trip mismatch")
+	}
+}
+
+// TestEncodeStreamShortReader checks that a reader that cannot supply the
+// promised size surfaces a read error instead of silently encoding a
+// truncated file.
+func TestEncodeStreamShortReader(t *testing.T) {
+	e := newTestEncoder()
+	file := testFile(96, 100)
+	tgt := NewMemTarget(1 << 20)
+	if _, err := e.EncodeStream("f", bytes.NewReader(file), 500, tgt); err == nil {
+		t.Fatal("short reader accepted")
+	}
+}
+
+// TestEncodeStreamDefaultParams runs one default-geometry (RS 255/223,
+// 16-byte blocks) equivalence pass so the paper's real parameters are
+// covered, not only the fast test geometry.
+func TestEncodeStreamDefaultParams(t *testing.T) {
+	e := NewEncoder([]byte("stream-default-master"))
+	file := testFile(97, 300000) // ~84 chunks with an odd tail
+	want, err := e.Encode("f", file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := NewMemTarget(want.Layout.EncodedBytes)
+	if _, err := e.EncodeStream("f", bytes.NewReader(file), int64(len(file)), tgt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tgt.B, want.Data) {
+		t.Fatal("default-params streamed bytes differ from Encode")
+	}
+	out := NewMemTarget(want.Layout.OrigBytes)
+	if err := e.ExtractStream("f", want.Layout, tgt, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.B, file) {
+		t.Fatal("default-params stream round trip mismatch")
+	}
+}
+
+func TestMemTargetBounds(t *testing.T) {
+	m := NewMemTarget(10)
+	if _, err := m.WriteAt([]byte{1, 2}, 9); err == nil {
+		t.Fatal("overflowing WriteAt accepted")
+	}
+	if _, err := m.WriteAt([]byte{1, 2}, -1); err == nil {
+		t.Fatal("negative WriteAt accepted")
+	}
+	if n, err := m.WriteAt([]byte{1, 2}, 8); n != 2 || err != nil {
+		t.Fatalf("WriteAt=%d,%v", n, err)
+	}
+	buf := make([]byte, 4)
+	if n, err := m.ReadAt(buf, 8); n != 2 || err == nil {
+		t.Fatalf("ReadAt past end: n=%d err=%v, want short read with EOF", n, err)
+	}
+	if _, err := m.ReadAt(buf, 11); err == nil {
+		t.Fatal("ReadAt beyond end accepted")
+	}
+}

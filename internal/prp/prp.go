@@ -30,6 +30,9 @@ import (
 	"fmt"
 	"hash"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/crypt"
 )
 
 // ErrBadDomain reports a permutation domain that is zero or too large.
@@ -147,6 +150,18 @@ type Feistel struct {
 	half   uint // bits per half
 	mask   uint64
 	rounds int
+
+	// Round-function memoization: the round input is only (round, r) with
+	// r < 2^half, so for the domain sizes GeoProof actually permutes
+	// (half = 14 at the paper's 153M-block scale) the entire round
+	// function fits in a small table — rounds × 2^half masked uint64s,
+	// built once through the crypt.EncryptBlocks ECB path on first bulk
+	// use. tableMaxBytes caps the memory; larger domains keep the batched
+	// AES path. The atomic pointer lets Index/Inverse pick the table up
+	// race-free once a concurrent IndexBatch has built it.
+	tableOnce    sync.Once
+	table        atomic.Pointer[[][]uint64]
+	tableMaxByte int
 }
 
 var _ Permutation = (*Feistel)(nil)
@@ -175,12 +190,61 @@ func NewFeistel(key []byte, n uint64, rounds int) (*Feistel, error) {
 		return nil, fmt.Errorf("prp: round cipher: %w", err)
 	}
 	return &Feistel{
-		block:  block,
-		n:      n,
-		half:   bits / 2,
-		mask:   (uint64(1) << (bits / 2)) - 1,
-		rounds: rounds,
+		block:        block,
+		n:            n,
+		half:         bits / 2,
+		mask:         (uint64(1) << (bits / 2)) - 1,
+		rounds:       rounds,
+		tableMaxByte: feistelTableMaxBytes,
 	}, nil
+}
+
+// feistelTableMaxBytes bounds the memoized round table: 16 MiB covers
+// half ≤ 17 at 8 rounds, i.e. domains up to 2^34 blocks (256 GiB files at
+// 16-byte blocks). Beyond that the batched AES path is used instead.
+const feistelTableMaxBytes = 16 << 20
+
+// roundTable returns the memoized round function, building it on first
+// call, or nil when the domain is too large to tabulate. Entry [i][x] is
+// roundFn(i, x) & mask — bit-identical to the AES evaluation, so every
+// path produces the same permutation. The build itself runs through the
+// crypt.EncryptBlocks multi-block shim: all 2^half round inputs for one
+// round are assembled tile by tile into contiguous buffers and encrypted
+// back to back.
+func (f *Feistel) roundTable() [][]uint64 {
+	size := uint64(1) << f.half
+	if bytes := uint64(f.rounds) * size * 8; bytes > uint64(f.tableMaxByte) {
+		return nil
+	}
+	f.tableOnce.Do(func() {
+		const tile = 256 // 4 KiB in/out buffers per EncryptBlocks call
+		var in, out [tile * 16]byte
+		tab := make([][]uint64, f.rounds)
+		flat := make([]uint64, uint64(f.rounds)*size) // one backing array
+		for i := range tab {
+			row := flat[uint64(i)*size : uint64(i+1)*size]
+			for base := uint64(0); base < size; base += tile {
+				m := uint64(tile)
+				if size-base < m {
+					m = size - base
+				}
+				for j := uint64(0); j < m; j++ {
+					binary.BigEndian.PutUint32(in[j*16:], uint32(i))
+					binary.BigEndian.PutUint64(in[j*16+4:], base+j)
+				}
+				crypt.EncryptBlocks(f.block, out[:m*16], in[:m*16])
+				for j := uint64(0); j < m; j++ {
+					row[base+j] = binary.BigEndian.Uint64(out[j*16:]) & f.mask
+				}
+			}
+			tab[i] = row
+		}
+		f.table.Store(&tab)
+	})
+	if p := f.table.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // roundFn is one AES evaluation over (round, half-block).
@@ -210,20 +274,25 @@ func (f *Feistel) Index(x uint64) uint64 {
 }
 
 // feistelTile is the number of positions IndexBatch pushes through the
-// rounds together. Within a tile every round issues feistelTile
-// independent AES block encryptions back to back, so AES-NI can pipeline
-// them instead of stalling on one element's ten-round latency chain; 64
-// keeps the whole scratch (two 1 KiB block buffers plus the half slices)
+// rounds together on the AES fallback path. Within a tile every round
+// issues feistelTile independent AES block encryptions back to back
+// through the crypt.EncryptBlocks shim, so AES-NI can pipeline them
+// instead of stalling on one element's ten-round latency chain; 128
+// keeps the whole scratch (two 2 KiB block buffers plus the half slices)
 // in L1 and on the stack.
-const feistelTile = 64
+const feistelTile = 128
 
 // IndexBatch maps the consecutive positions first..first+len(dst) in one
-// call, batching the Feistel rounds across a tile of positions: each
-// round packs all in-flight round-function inputs into one contiguous
-// buffer and encrypts them as independent AES blocks. Elements whose
-// output lands outside the domain cycle-walk together in progressively
-// smaller batches until the tile drains. Output is identical to calling
-// Index per position.
+// call. When the round table is available (domains up to
+// feistelTableMaxBytes worth of entries — every GeoProof file size in
+// practice) each round is a single table lookup and no AES runs at all.
+// Larger domains fall back to batching the Feistel rounds across a tile
+// of positions: each round packs all in-flight round-function inputs
+// into one contiguous buffer and encrypts them as independent AES blocks
+// via crypt.EncryptBlocks. Elements whose output lands outside the
+// domain cycle-walk together in progressively smaller batches until the
+// tile drains. Output is identical to calling Index per position on
+// either path.
 func (f *Feistel) IndexBatch(first uint64, dst []uint64) {
 	if len(dst) == 0 {
 		return
@@ -234,6 +303,16 @@ func (f *Feistel) IndexBatch(first uint64, dst []uint64) {
 			x = f.n
 		}
 		panic(fmt.Sprintf("prp: index %d outside domain %d", x, f.n))
+	}
+	if tab := f.roundTable(); tab != nil {
+		for i := range dst {
+			y := f.encryptOnceTable(first+uint64(i), tab)
+			for y >= f.n {
+				y = f.encryptOnceTable(y, tab)
+			}
+			dst[i] = y
+		}
+		return
 	}
 	var l, r [feistelTile]uint64
 	var idx [feistelTile]int
@@ -269,9 +348,10 @@ func (f *Feistel) IndexBatch(first uint64, dst []uint64) {
 
 // roundsBatch runs the full Feistel round schedule over a batch of
 // (l, r) halves in struct-of-arrays form. Per round it packs every
-// element's round-function input into `in`, encrypts the blocks
-// back to back, then folds the outputs into the halves — the same
-// computation as encryptOnce, element-wise.
+// element's round-function input into `in`, encrypts the whole assembled
+// buffer as independent blocks through the ECB-style shim, then folds
+// the outputs into the halves — the same computation as encryptOnce,
+// element-wise.
 func (f *Feistel) roundsBatch(l, r []uint64, in, out []byte) {
 	for i := 0; i < f.rounds; i++ {
 		ri := uint32(i)
@@ -279,13 +359,22 @@ func (f *Feistel) roundsBatch(l, r []uint64, in, out []byte) {
 			binary.BigEndian.PutUint32(in[j*16:], ri)
 			binary.BigEndian.PutUint64(in[j*16+4:], r[j])
 		}
-		for j := range r {
-			f.block.Encrypt(out[j*16:j*16+16], in[j*16:j*16+16])
-		}
+		crypt.EncryptBlocks(f.block, out[:len(r)*16], in[:len(r)*16])
 		for j := range r {
 			l[j], r[j] = r[j], l[j]^(binary.BigEndian.Uint64(out[j*16:j*16+8])&f.mask)
 		}
 	}
+}
+
+// encryptOnceTable is encryptOnce with every round folded through the
+// memoized round table.
+func (f *Feistel) encryptOnceTable(x uint64, tab [][]uint64) uint64 {
+	l := (x >> f.half) & f.mask
+	r := x & f.mask
+	for _, row := range tab {
+		l, r = r, l^row[r]
+	}
+	return l<<f.half | r
 }
 
 // Inverse maps a permuted position back to the original position.
@@ -301,6 +390,11 @@ func (f *Feistel) Inverse(y uint64) uint64 {
 }
 
 func (f *Feistel) encryptOnce(x uint64) uint64 {
+	// Use the memoized rounds when some bulk caller already paid to build
+	// them; a lone Index never triggers the build itself.
+	if p := f.table.Load(); p != nil {
+		return f.encryptOnceTable(x, *p)
+	}
 	l := (x >> f.half) & f.mask
 	r := x & f.mask
 	for i := 0; i < f.rounds; i++ {
@@ -310,6 +404,15 @@ func (f *Feistel) encryptOnce(x uint64) uint64 {
 }
 
 func (f *Feistel) decryptOnce(y uint64) uint64 {
+	if p := f.table.Load(); p != nil {
+		tab := *p
+		l := (y >> f.half) & f.mask
+		r := y & f.mask
+		for i := f.rounds - 1; i >= 0; i-- {
+			l, r = r^tab[i][l], l
+		}
+		return l<<f.half | r
+	}
 	l := (y >> f.half) & f.mask
 	r := y & f.mask
 	for i := f.rounds - 1; i >= 0; i-- {

@@ -213,6 +213,73 @@ func TestIndexBatchOutOfDomainPanics(t *testing.T) {
 	f.IndexBatch(5, make([]uint64, 6))
 }
 
+// TestFeistelTablePathMatchesAESPath pins the memoized-round-table fast
+// path bit-identical to the pure-AES evaluation: a table-disabled twin
+// (tableMaxByte = 0 forces the batched-AES tiles) and per-position Index
+// calls taken BEFORE any batch ran (so they cannot have picked up a
+// table) must agree with the table-driven IndexBatch everywhere,
+// including cycle-walking outputs.
+func TestFeistelTablePathMatchesAESPath(t *testing.T) {
+	const n = uint64(153008209) // paper-scale domain, half = 14 → table eligible
+	tabbed, err := NewFeistel(testKey(), n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewFeistel(testKey(), n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.tableMaxByte = 0 // force the AES tile path forever
+
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 3; trial++ {
+		count := uint64(1 + rng.Intn(400))
+		first := rng.Uint64() % (n - count)
+
+		want := make([]uint64, count)
+		for i := range want {
+			want[i] = plain.Index(first + uint64(i)) // pure AES, no table built yet
+		}
+		viaAESBatch := make([]uint64, count)
+		plain.IndexBatch(first, viaAESBatch)
+		viaTable := make([]uint64, count)
+		tabbed.IndexBatch(first, viaTable)
+		for i := range want {
+			if viaAESBatch[i] != want[i] {
+				t.Fatalf("trial %d: AES IndexBatch[%d]=%d, Index=%d", trial, i, viaAESBatch[i], want[i])
+			}
+			if viaTable[i] != want[i] {
+				t.Fatalf("trial %d: table IndexBatch[%d]=%d, AES Index=%d", trial, i, viaTable[i], want[i])
+			}
+			// Inverse must round-trip on the table path too.
+			if got := tabbed.Inverse(want[i]); got != first+uint64(i) {
+				t.Fatalf("trial %d: table Inverse(%d)=%d, want %d", trial, want[i], got, first+uint64(i))
+			}
+		}
+	}
+}
+
+// TestFeistelLargeDomainSkipsTable exercises the AES fallback on a domain
+// too large to tabulate (half = 20 → a 64 MiB table would be needed).
+func TestFeistelLargeDomainSkipsTable(t *testing.T) {
+	const n = uint64(1) << 40
+	f, err := NewFeistel(testKey(), n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint64, 300)
+	const first = uint64(987654321012)
+	f.IndexBatch(first, dst)
+	if f.table.Load() != nil {
+		t.Fatal("table built for an oversized domain")
+	}
+	for i, got := range dst {
+		if want := f.Index(first + uint64(i)); got != want {
+			t.Fatalf("IndexBatch[%d]=%d, Index=%d", i, got, want)
+		}
+	}
+}
+
 func TestIndexBatchMatchesIndex(t *testing.T) {
 	for _, n := range []uint64{1, 5, 97, 1000} {
 		for name, p := range permutations(t, n) {

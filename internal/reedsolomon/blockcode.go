@@ -43,12 +43,26 @@ func (bc *BlockCode) ChunkBlocks() int { return bc.code.N() }
 // scratch buffer reused across stripes — no per-codeword allocation and
 // no full column gather/scatter of the data blocks.
 func (bc *BlockCode) EncodeChunk(data []byte) ([]byte, error) {
+	out := make([]byte, bc.code.N()*bc.blockSize)
+	if err := bc.EncodeChunkInto(out, data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeChunkInto is EncodeChunk writing into a caller-provided buffer of
+// n·blockSize bytes, allocating only the small per-call reduction
+// scratch. It is the entry point the streaming POR pipeline drives with
+// pooled chunk buffers. dst must not overlap data.
+func (bc *BlockCode) EncodeChunkInto(dst, data []byte) error {
 	k, n, bs := bc.code.K(), bc.code.N(), bc.blockSize
 	if len(data) != k*bs {
-		return nil, fmt.Errorf("%w: chunk is %d bytes, want %d", ErrWrongLength, len(data), k*bs)
+		return fmt.Errorf("%w: chunk is %d bytes, want %d", ErrWrongLength, len(data), k*bs)
 	}
-	out := make([]byte, n*bs)
-	copy(out, data)
+	if len(dst) != n*bs {
+		return fmt.Errorf("%w: dst is %d bytes, want %d", ErrWrongLength, len(dst), n*bs)
+	}
+	copy(dst, data)
 	rem := make([]byte, bc.code.red.Scratch(k))
 	for j := 0; j < bs; j++ {
 		for b := 0; b < k; b++ {
@@ -59,10 +73,10 @@ func (bc *BlockCode) EncodeChunk(data []byte) ([]byte, error) {
 		}
 		bc.code.red.Reduce(rem, k)
 		for b := k; b < n; b++ {
-			out[b*bs+j] = rem[b]
+			dst[b*bs+j] = rem[b]
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // DecodeChunk recovers the k·blockSize data bytes from an n·blockSize
@@ -77,20 +91,35 @@ func (bc *BlockCode) EncodeChunk(data []byte) ([]byte, error) {
 // that already is a valid codeword, so the fast path is byte-identical to
 // the full decode.
 func (bc *BlockCode) DecodeChunk(chunk []byte, badBlocks []int) ([]byte, error) {
+	out := make([]byte, bc.code.K()*bc.blockSize)
+	if err := bc.DecodeChunkInto(out, chunk, badBlocks); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeChunkInto is DecodeChunk writing the recovered k·blockSize data
+// bytes into a caller-provided buffer, allocating only small per-call
+// codeword scratch — the streaming extractor's entry point for pooled
+// buffers. dst must not overlap chunk. On error dst contents are
+// unspecified.
+func (bc *BlockCode) DecodeChunkInto(dst, chunk []byte, badBlocks []int) error {
 	k, n, bs := bc.code.K(), bc.code.N(), bc.blockSize
 	if len(chunk) != n*bs {
-		return nil, fmt.Errorf("%w: chunk is %d bytes, want %d", ErrWrongLength, len(chunk), n*bs)
+		return fmt.Errorf("%w: chunk is %d bytes, want %d", ErrWrongLength, len(chunk), n*bs)
+	}
+	if len(dst) != k*bs {
+		return fmt.Errorf("%w: dst is %d bytes, want %d", ErrWrongLength, len(dst), k*bs)
 	}
 	for _, b := range badBlocks {
 		if b < 0 || b >= n {
-			return nil, fmt.Errorf("%w: block %d", ErrBadErasurePos, b)
+			return fmt.Errorf("%w: block %d", ErrBadErasurePos, b)
 		}
 	}
 	if len(badBlocks) > n-k {
 		// Same verdict the symbol decoder reaches on its first stripe.
-		return nil, fmt.Errorf("stripe 0: %w", ErrTooManyErrors)
+		return fmt.Errorf("stripe 0: %w", ErrTooManyErrors)
 	}
-	out := make([]byte, k*bs)
 	cw := make([]byte, n)
 	scratch := make([]byte, bc.code.red.Scratch(k))
 	for j := 0; j < bs; j++ {
@@ -100,14 +129,14 @@ func (bc *BlockCode) DecodeChunk(chunk []byte, badBlocks []int) ([]byte, error) 
 		if r := bc.code.remainder(scratch, cw); !allZero(r) {
 			synd := bc.code.syndromesFromRemainder(r)
 			if err := bc.code.correct(cw, synd, badBlocks, scratch); err != nil {
-				return nil, fmt.Errorf("stripe %d: %w", j, err)
+				return fmt.Errorf("stripe %d: %w", j, err)
 			}
 		}
 		for b := 0; b < k; b++ {
-			out[b*bs+j] = cw[b]
+			dst[b*bs+j] = cw[b]
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Expansion returns the storage expansion factor n/k of the code (≈1.1435

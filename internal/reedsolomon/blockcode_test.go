@@ -129,3 +129,53 @@ func TestBlockCodeWrongSizes(t *testing.T) {
 		t.Fatalf("bad erasure: got %v", err)
 	}
 }
+
+// TestChunkIntoVariantsMatchAllocating pins the buffer-reusing entry
+// points byte-identical to their allocating wrappers, including buffer
+// reuse across calls with differing contents and corrupted chunks.
+func TestChunkIntoVariantsMatchAllocating(t *testing.T) {
+	bc, err := NewBlockCode(MustNew(15, 11), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	encDst := make([]byte, bc.ChunkBlocks()*8)
+	decDst := make([]byte, bc.DataBlocks()*8)
+	for trial := 0; trial < 20; trial++ {
+		data := make([]byte, bc.DataBlocks()*8)
+		rng.Read(data)
+		want, err := bc.EncodeChunk(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bc.EncodeChunkInto(encDst, data); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encDst, want) {
+			t.Fatalf("trial %d: EncodeChunkInto differs from EncodeChunk", trial)
+		}
+		// Corrupt up to two blocks and decode both ways.
+		chunk := append([]byte(nil), want...)
+		var bad []int
+		for _, b := range rng.Perm(bc.ChunkBlocks())[:rng.Intn(3)] {
+			rng.Read(chunk[b*8 : (b+1)*8])
+			bad = append(bad, b)
+		}
+		wantDec, err := bc.DecodeChunk(chunk, bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bc.DecodeChunkInto(decDst, chunk, bad); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decDst, wantDec) || !bytes.Equal(decDst, data) {
+			t.Fatalf("trial %d: DecodeChunkInto mismatch", trial)
+		}
+	}
+	if err := bc.EncodeChunkInto(make([]byte, 3), make([]byte, bc.DataBlocks()*8)); !errors.Is(err, ErrWrongLength) {
+		t.Fatalf("short encode dst: got %v", err)
+	}
+	if err := bc.DecodeChunkInto(make([]byte, 3), make([]byte, bc.ChunkBlocks()*8), nil); !errors.Is(err, ErrWrongLength) {
+		t.Fatalf("short decode dst: got %v", err)
+	}
+}
