@@ -4,9 +4,18 @@
 // prover, and returns signed transcripts. Its ECDSA public key is printed
 // at startup for registration with the TPA.
 //
+// With -audit it instead plays the TPA side at fleet scale: the built-in
+// scheduler drives continuous audits for many simulated tenants against
+// one or more geoproofd provers — bounded in-flight window per prover,
+// round-robin tenant fairness, per-attempt timeout and retry — and prints
+// a live per-prover/per-tenant verdict ledger after every epoch.
+//
 // Usage:
 //
 //	geoverifierd -addr :9342 -prover host:9341 [-lat -27.4698 -lon 153.0251]
+//	geoverifierd -audit -meta data.meta.json -provers host:9341,host2:9341 \
+//	    [-tenants 8] [-epochs 3] [-k 20] [-tmax 50ms] [-window 2] \
+//	    [-timeout 5s] [-retries 1] [-j 8]
 package main
 
 import (
@@ -16,12 +25,16 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/crypt"
 	"repro/internal/geo"
 	"repro/internal/gps"
+	"repro/internal/meta"
+	"repro/internal/por"
 )
 
 func main() {
@@ -32,25 +45,52 @@ func main() {
 }
 
 func run() error {
-	addr := flag.String("addr", ":9342", "listen address for TPA connections")
+	addr := flag.String("addr", ":9342", "listen address for TPA connections (daemon mode)")
 	prover := flag.String("prover", "127.0.0.1:9341", "prover (geoproofd) address")
 	lat := flag.Float64("lat", geo.Brisbane.LatDeg, "device GPS latitude")
 	lon := flag.Float64("lon", geo.Brisbane.LonDeg, "device GPS longitude")
+
+	audit := flag.Bool("audit", false, "run the multi-tenant audit scheduler instead of serving TPAs")
+	metaPath := flag.String("meta", "", "metadata sidecar from geoprep (required with -audit)")
+	provers := flag.String("provers", "", "comma-separated prover addresses (default: -prover)")
+	tenants := flag.Int("tenants", 8, "simulated tenants sharing the file (audit mode)")
+	epochs := flag.Int("epochs", 3, "audit epochs to run, 0 = until interrupted (audit mode)")
+	k := flag.Int("k", 20, "timed challenge rounds per audit (audit mode)")
+	tmax := flag.Duration("tmax", 50*time.Millisecond, "per-round acceptance bound Δt_max (audit mode)")
+	radius := flag.Float64("radius", 100, "SLA radius in km around the device position (audit mode)")
+	window := flag.Int("window", 2, "max in-flight audits per prover (audit mode)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt audit deadline (audit mode)")
+	retries := flag.Int("retries", 1, "retries after a transport failure or timeout (audit mode)")
+	workers := flag.Int("j", 0, "concurrent audits across all provers, 0 = NumCPU (audit mode)")
 	flag.Parse()
 
 	signer, err := crypt.NewSigner()
 	if err != nil {
 		return err
 	}
-	pub := signer.Public()
-	fmt.Printf("verifier public key (register with TPA): %s\n",
-		hex.EncodeToString(elliptic.MarshalCompressed(pub.Curve, pub.X, pub.Y)))
-
 	receiver := &gps.Receiver{True: geo.Position{LatDeg: *lat, LonDeg: *lon}}
 	verifier, err := core.NewVerifier(signer, receiver, nil)
 	if err != nil {
 		return err
 	}
+
+	if *audit {
+		targets := *provers
+		if targets == "" {
+			targets = *prover
+		}
+		return runScheduler(schedOpts{
+			verifier: verifier, signerPub: signer, metaPath: *metaPath,
+			provers: strings.Split(targets, ","),
+			tenants: *tenants, epochs: *epochs, k: *k,
+			tmax: *tmax, radiusKm: *radius, lat: *lat, lon: *lon,
+			window: *window, timeout: *timeout, retries: *retries, workers: *workers,
+		})
+	}
+
+	pub := signer.Public()
+	fmt.Printf("verifier public key (register with TPA): %s\n",
+		hex.EncodeToString(elliptic.MarshalCompressed(pub.Curve, pub.X, pub.Y)))
 	srv := &core.VerifierServer{
 		Verifier: verifier,
 		DialProver: func() (core.ProverConn, error) {
@@ -64,4 +104,141 @@ func run() error {
 	fmt.Printf("verifier device at %s (GPS %.4f,%.4f), prover %s\n",
 		lis.Addr(), *lat, *lon, *prover)
 	return srv.Serve(lis)
+}
+
+type schedOpts struct {
+	verifier  *core.Verifier
+	signerPub *crypt.Signer
+	metaPath  string
+	provers   []string
+	tenants   int
+	epochs    int
+	k         int
+	tmax      time.Duration
+	radiusKm  float64
+	lat, lon  float64
+	window    int
+	timeout   time.Duration
+	retries   int
+	workers   int
+}
+
+// runScheduler is audit mode: this process is both the verifier device and
+// the multi-tenant TPA, continuously auditing every listed prover.
+func runScheduler(o schedOpts) error {
+	if o.metaPath == "" {
+		return fmt.Errorf("-audit requires -meta (the sidecar written by geoprep)")
+	}
+	m, err := meta.Load(o.metaPath)
+	if err != nil {
+		return err
+	}
+	layout, err := m.Layout()
+	if err != nil {
+		return err
+	}
+	master, err := m.MasterKey()
+	if err != nil {
+		return err
+	}
+	enc := por.NewEncoder(master).WithParams(m.Params)
+
+	policy := core.DefaultPolicy(cloud.SLA{
+		Center:   geo.Position{LatDeg: o.lat, LonDeg: o.lon},
+		RadiusKm: o.radiusKm,
+	})
+	policy.TMax = o.tmax
+	tpa, err := core.NewTPA(enc, o.signerPub.Public(), policy)
+	if err != nil {
+		return err
+	}
+
+	sched := core.NewScheduler(core.SchedulerConfig{
+		Workers:      o.workers,
+		ProverWindow: o.window,
+		Timeout:      o.timeout,
+		Retries:      o.retries,
+		// Live feed: failures print as they land; acceptances stay quiet.
+		OnVerdict: func(v core.Verdict) {
+			if v.Outcome == core.OutcomeAccepted {
+				return
+			}
+			detail := v.Err
+			if v.Outcome == core.OutcomeRejected {
+				detail = v.Report.Reason()
+			}
+			fmt.Printf("  ! %s on %s: %s (%s, %d attempts)\n",
+				v.Task.Tenant, v.Task.Prover, v.Outcome, detail, v.Attempts)
+		},
+	})
+
+	var addrs []string
+	for _, p := range o.provers {
+		if a := strings.TrimSpace(p); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("no prover addresses given")
+	}
+	var tasks []core.AuditTask
+	for t := 0; t < o.tenants; t++ {
+		name := fmt.Sprintf("tenant-%03d", t)
+		sched.RegisterTenant(name, tpa)
+		for _, addr := range addrs {
+			tasks = append(tasks, core.AuditTask{
+				Tenant: name, Prover: addr,
+				FileID: m.FileID, Layout: layout, K: o.k,
+			})
+		}
+	}
+	for _, addr := range addrs {
+		addr := addr
+		sched.RegisterProver(addr, &core.DialProverRunner{
+			Verifier: o.verifier,
+			Dial: func() (core.ProverConn, error) {
+				return core.DialProver(addr, o.timeout)
+			},
+			AttemptTimeout: o.timeout,
+		})
+	}
+
+	// Continuous mode runs indefinitely; fold epochs older than this into
+	// the per-(tenant, prover) archive cells so the ledger stays bounded.
+	const keepEpochs = 8
+	fmt.Printf("audit scheduler: %d tenants × %d provers × %d rounds, window %d/prover, Δt_max %v\n",
+		o.tenants, len(addrs), o.k, o.window, o.tmax)
+	for epoch := 1; o.epochs == 0 || epoch <= o.epochs; epoch++ {
+		if epoch > keepEpochs {
+			sched.Ledger().CompactBefore(uint64(epoch - keepEpochs))
+		}
+		start := time.Now()
+		verdicts := sched.RunEpoch(tasks)
+		elapsed := time.Since(start)
+		var accepted int
+		for _, v := range verdicts {
+			if v.Outcome == core.OutcomeAccepted {
+				accepted++
+			}
+		}
+		fmt.Printf("epoch %d: %d/%d accepted in %v (%.1f audits/s)\n",
+			epoch, accepted, len(verdicts), elapsed.Round(time.Millisecond),
+			float64(len(verdicts))/elapsed.Seconds())
+		printLedger(sched.Ledger())
+	}
+	return nil
+}
+
+// printLedger renders the running per-prover totals.
+func printLedger(l *core.AuditLedger) {
+	fmt.Println("  prover ledger (all epochs):")
+	for _, row := range l.TotalsByProver() {
+		line := fmt.Sprintf("    %-24s audits=%d ok=%d rejected=%d timeout=%d error=%d maxRTT=%v",
+			row.Name, row.Audits, row.Accepted, row.Rejected, row.Timeouts, row.Errors,
+			row.MaxRTT.Round(time.Microsecond))
+		if row.LastReason != "" {
+			line += " last: " + row.LastReason
+		}
+		fmt.Println(line)
+	}
 }

@@ -1,0 +1,263 @@
+// Multitenant: the TPA as a production auditor — 100 tenants' files
+// replicated across a fleet of 10 simulated providers, audited
+// continuously by the core.Scheduler with a bounded in-flight window per
+// prover and round-robin tenant fairness. The fleet hides three bad
+// actors: a throttled site (fails the Δt_max timing bound), a site with
+// corrupted storage (fails the MAC checks) and a dead site that never
+// answers (times out on the wall clock). The per-(tenant, prover, epoch)
+// AuditLedger pins every verdict where it belongs.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/disk"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/por"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+const (
+	numTenants = 100
+	numProvers = 10 // simulated-network provers; a dead one is added on top
+	rounds     = 4  // timed challenge rounds per audit
+	epochs     = 2
+)
+
+// hungConn models a prover that accepts the connection and never answers.
+type hungConn struct{ never chan struct{} }
+
+func (c *hungConn) GetSegment(string, uint64) ([]byte, error) {
+	<-c.never
+	return nil, nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Now()
+
+	// One shared verifier device (signer + GPS) audits the whole fleet,
+	// timing simulated rounds on the network's virtual clock.
+	clk := vclock.NewVirtual(time.Time{})
+	net := simnet.New(clk, 7)
+	net.AddNode("verifier", geo.Brisbane, nil)
+	signer, err := crypt.NewSigner()
+	if err != nil {
+		return err
+	}
+	verifier, err := core.NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, clk)
+	if err != nil {
+		return err
+	}
+
+	// The provider fleet: 10 Brisbane sites on average 7200-RPM disks.
+	// prover-07 is overloaded (+30 ms per look-up), prover-08's storage
+	// is silently corrupt; the rest are honest.
+	sites := make([]*cloud.Site, numProvers)
+	proverName := func(p int) string { return fmt.Sprintf("prover-%02d", p) }
+	for p := range sites {
+		sites[p] = cloud.NewSite(cloud.DataCenter{
+			Name:     proverName(p),
+			Position: geo.Brisbane,
+			Disk:     disk.WD2500JD,
+		}, int64(100+p))
+	}
+
+	// Each tenant holds its own master secret, prepares a private file and
+	// replicates the encoded form on every site.
+	fmt.Printf("encoding %d tenant files and replicating across %d sites...\n",
+		numTenants, numProvers)
+	type tenant struct {
+		name string
+		ef   *por.EncodedFile
+		tpa  *core.TPA
+	}
+	tenants := make([]*tenant, numTenants)
+	policyFor := func(enc *por.Encoder) (*core.TPA, error) {
+		return core.NewTPA(enc.WithConcurrency(1), signer.Public(),
+			core.DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100}))
+	}
+	for t := range tenants {
+		name := fmt.Sprintf("tenant-%03d", t)
+		master := []byte(fmt.Sprintf("master-secret-of-%s", name))
+		enc := por.NewEncoder(master).WithConcurrency(1)
+		file := make([]byte, 2048)
+		for i := range file {
+			file[i] = byte(t + i)
+		}
+		ef, err := enc.Encode(name+"/ledger.db", file)
+		if err != nil {
+			return err
+		}
+		tpa, err := policyFor(enc)
+		if err != nil {
+			return err
+		}
+		tenants[t] = &tenant{name: name, ef: ef, tpa: tpa}
+		for _, site := range sites {
+			site.Store(ef.FileID, ef.Layout, ef.Data)
+		}
+	}
+
+	// Inject the faults after storage: corrupt every segment of every file
+	// on prover-08 so its rejections are certain, not probabilistic.
+	const (
+		throttled = 7
+		corrupt   = 8
+	)
+	for _, tn := range tenants {
+		if _, err := sites[corrupt].CorruptRandomSegments(tn.ef.FileID, 1.0, 99); err != nil {
+			return err
+		}
+	}
+
+	// Wire each site into the simulated LAN and build its audit runner.
+	// The network and its virtual clock are single-threaded, so every
+	// runner over it shares one lock; the scheduler's concurrency still
+	// exercises the window accounting, and carries over unchanged to the
+	// TCP transport (see cmd/geoverifierd -audit).
+	var simLock sync.Mutex
+	lan := simnet.LANLink{
+		DistanceKm: 0.5, Switches: 3,
+		PerSwitch: 30 * time.Microsecond, Base: 100 * time.Microsecond,
+	}
+	sched := core.NewScheduler(core.SchedulerConfig{
+		Workers:      16,
+		ProverWindow: 2,
+		Timeout:      500 * time.Millisecond,
+		Retries:      0,
+	})
+	for p, site := range sites {
+		var provider cloud.Provider = &cloud.HonestProvider{Site: site}
+		if p == throttled {
+			provider = &cloud.ThrottledProvider{Inner: provider, Extra: 30 * time.Millisecond}
+		}
+		net.AddNode(proverName(p), geo.Brisbane, core.ProviderHandler(provider))
+		net.SetLink("verifier", proverName(p), lan)
+		sched.RegisterProver(proverName(p), &core.LocalRunner{
+			Verifier: verifier,
+			Conn:     &core.SimProverConn{Net: net, Verifier: "verifier", Prover: proverName(p)},
+			Lock:     &simLock,
+		})
+	}
+	// The dead prover lives outside the simulation: its connection hangs
+	// on the wall clock, so its verifier must time on the wall clock too.
+	deadVerifier, err := core.NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil)
+	if err != nil {
+		return err
+	}
+	sched.RegisterProver("prover-dead", &core.LocalRunner{
+		Verifier: deadVerifier,
+		Conn:     &hungConn{never: make(chan struct{})},
+	})
+
+	// Every tenant audits every fleet prover each epoch; the first eight
+	// tenants also have contracts on the dead site.
+	var tasks []core.AuditTask
+	for t, tn := range tenants {
+		sched.RegisterTenant(tn.name, tn.tpa)
+		for p := 0; p < numProvers; p++ {
+			tasks = append(tasks, core.AuditTask{
+				Tenant: tn.name, Prover: proverName(p),
+				FileID: tn.ef.FileID, Layout: tn.ef.Layout, K: rounds,
+			})
+		}
+		if t < 8 {
+			tasks = append(tasks, core.AuditTask{
+				Tenant: tn.name, Prover: "prover-dead",
+				FileID: tn.ef.FileID, Layout: tn.ef.Layout, K: rounds,
+			})
+		}
+	}
+
+	for epoch := 1; epoch <= epochs; epoch++ {
+		epochStart := time.Now()
+		verdicts := sched.RunEpoch(tasks)
+		var accepted int
+		for _, v := range verdicts {
+			if v.Outcome == core.OutcomeAccepted {
+				accepted++
+			}
+		}
+		fmt.Printf("epoch %d: %d audits, %d accepted, wall %v\n",
+			epoch, len(verdicts), accepted, time.Since(epochStart).Round(time.Millisecond))
+	}
+
+	fmt.Println("\nper-prover ledger totals:")
+	for _, row := range sched.Ledger().TotalsByProver() {
+		fmt.Printf("  %-12s audits=%4d ok=%4d rejected=%4d timeout=%3d maxRTT=%8v",
+			row.Name, row.Audits, row.Accepted, row.Rejected, row.Timeouts,
+			row.MaxRTT.Round(time.Microsecond))
+		if row.LastReason != "" {
+			fmt.Printf("  (%s)", row.LastReason)
+		}
+		fmt.Println()
+	}
+
+	// The ledger must have pinned each failure mode on the right prover
+	// for every tenant — this is the example's self-check.
+	var problems []string
+	for _, row := range sched.Ledger().TotalsByProver() {
+		switch row.Name {
+		case proverName(throttled):
+			if row.Rejected != row.Audits {
+				problems = append(problems, fmt.Sprintf("%s: want all timing rejections, got %d/%d", row.Name, row.Rejected, row.Audits))
+			}
+		case proverName(corrupt):
+			if row.Rejected != row.Audits {
+				problems = append(problems, fmt.Sprintf("%s: want all MAC rejections, got %d/%d", row.Name, row.Rejected, row.Audits))
+			}
+		case "prover-dead":
+			if row.Timeouts != row.Audits {
+				problems = append(problems, fmt.Sprintf("%s: want all timeouts, got %d/%d", row.Name, row.Timeouts, row.Audits))
+			}
+		default:
+			if row.Accepted != row.Audits {
+				problems = append(problems, fmt.Sprintf("%s: want all accepted, got %d/%d", row.Name, row.Accepted, row.Audits))
+			}
+		}
+	}
+	// And per tenant: 8 honest provers accepted each epoch, 2 bad ones
+	// rejected, plus the dead site's timeouts for the first 8 tenants.
+	tenantTotals := make(map[string]core.LedgerEntry)
+	for _, row := range sched.Ledger().TotalsByTenant() {
+		tenantTotals[row.Name] = row.LedgerEntry
+	}
+	for t, tn := range tenants {
+		entrySum := tenantTotals[tn.name]
+		wantAccepted := (numProvers - 2) * epochs
+		wantRejected := 2 * epochs
+		wantTimeouts := 0
+		if t < 8 {
+			wantTimeouts = epochs
+		}
+		if entrySum.Accepted != wantAccepted || entrySum.Rejected != wantRejected || entrySum.Timeouts != wantTimeouts {
+			problems = append(problems, fmt.Sprintf(
+				"%s: ok/rej/to = %d/%d/%d, want %d/%d/%d", tn.name,
+				entrySum.Accepted, entrySum.Rejected, entrySum.Timeouts,
+				wantAccepted, wantRejected, wantTimeouts))
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Println("MISMATCH:", p)
+		}
+		return fmt.Errorf("%d ledger expectations failed", len(problems))
+	}
+	fmt.Printf("\nall ledger expectations hold: %d tenants × %d provers, window %d/prover, total wall %v\n",
+		numTenants, numProvers+1, 2, time.Since(start).Round(time.Millisecond))
+	return nil
+}

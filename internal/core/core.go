@@ -1,20 +1,3 @@
-// Package core implements the GeoProof protocol itself — the paper's
-// primary contribution (§V): a proof-of-storage audit whose challenge-
-// response rounds are individually timed by a trusted, GPS-enabled
-// verifier device inside the provider's LAN, so that a third-party
-// auditor can conclude the data physically resides near the contracted
-// location.
-//
-// Roles:
-//
-//   - Owner (por.Encoder): prepares the file per §V-A and holds the master
-//     secret.
-//   - Verifier device V (Verifier): tamper-proof, GPS-enabled, sits in the
-//     provider's LAN; runs the timed rounds and signs the transcript.
-//   - Prover P: the cloud provider serving segments (cloud.Provider behind
-//     a ProverConn transport).
-//   - TPA A (TPA): drives audits through V, verifies signature, GPS
-//     position, segment MACs and the per-round time bound Δt_max.
 package core
 
 import (

@@ -1,0 +1,42 @@
+// Package core implements the GeoProof protocol itself — the paper's
+// primary contribution (§V): a proof-of-storage audit whose challenge-
+// response rounds are individually timed by a trusted, GPS-enabled
+// verifier device inside the provider's LAN, so that a third-party
+// auditor can conclude the data physically resides near the contracted
+// location.
+//
+// Roles:
+//
+//   - Owner (por.Encoder): prepares the file per §V-A and holds the master
+//     secret.
+//   - Verifier device V (Verifier): tamper-proof, GPS-enabled, sits in the
+//     provider's LAN; runs the timed rounds and signs the transcript.
+//   - Prover P: the cloud provider serving segments (cloud.Provider behind
+//     a ProverConn transport).
+//   - TPA A (TPA): drives audits through V, verifies signature, GPS
+//     position, segment MACs and the per-round time bound Δt_max.
+//
+// # Transports
+//
+// The verifier reaches the prover through the ProverConn interface, with
+// two implementations: SimProverConn rides the deterministic simulated
+// network (simnet, virtual clock), and TCPProverConn speaks the wire
+// framing against a live ProverServer (cmd/geoproofd). VerifierServer and
+// RemoteVerifier add the third leg — a TPA talking to a remote verifier
+// daemon (cmd/geoverifierd) — making the deployment fully distributed as
+// in the paper's Fig. 4.
+//
+// # Multi-tenant audit scheduling
+//
+// One verified transcript is VerifyAudit; one auditor sweeping a batch of
+// transcripts is VerifyAudits. The Scheduler (sched.go) is the layer
+// above both: it continuously drives whole audits — fresh nonce, timed
+// rounds via an AuditRunner, verification, verdict — for many tenants
+// against many provers, with a bounded in-flight window per prover,
+// round-robin (optionally weighted) tenant fairness, per-attempt timeouts
+// and bounded retries. Verdicts aggregate in an AuditLedger keyed by
+// (tenant, prover, epoch). The same scheduler runs over every transport
+// via the AuditRunner implementations: LocalRunner (in-process, simnet or
+// a fixed connection), DialProverRunner (local verifier, TCP prover per
+// audit) and RemoteRunner (remote verifier daemon per audit).
+package core

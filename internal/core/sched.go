@@ -1,0 +1,664 @@
+package core
+
+// This file is the TPA-side audit scheduler: the layer that turns "a TPA
+// can verify one transcript" into "a TPA continuously audits many tenants'
+// files across many providers". It owns dispatch order (per-tenant
+// fairness), back-pressure (a bounded in-flight window per prover),
+// failure policy (per-attempt timeout, bounded retries) and bookkeeping
+// (an AuditLedger of verdicts per tenant × prover × epoch). The actual
+// challenge-response rounds are delegated to an AuditRunner, so the same
+// scheduler drives the in-process simulated network, a local verifier
+// device dialing provers over TCP, and fully remote verifier daemons.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/blockfile"
+	"repro/internal/parallel"
+)
+
+// ErrAuditTimeout reports that a scheduled audit attempt exceeded the
+// scheduler's per-attempt deadline before a transcript came back.
+var ErrAuditTimeout = errors.New("core: audit attempt timed out")
+
+// AuditRunner executes one audit end to end — timed challenge rounds
+// against a prover, returning the verifier-signed transcript. The
+// scheduler is transport-agnostic through this interface:
+//
+//   - LocalRunner: in-process verifier over any ProverConn (simnet or an
+//     established TCP connection),
+//   - DialProverRunner: in-process verifier, fresh TCP prover connection
+//     per audit,
+//   - RemoteRunner: fully distributed — each audit is shipped to a
+//     verifier daemon (geoverifierd) which runs the rounds on its side.
+//
+// *RemoteVerifier satisfies the interface directly for a single
+// long-lived daemon connection (audits then serialize on that
+// connection).
+type AuditRunner interface {
+	RunAudit(req AuditRequest) (SignedTranscript, error)
+}
+
+// LocalRunner drives audits through an in-process verifier device over a
+// fixed prover connection.
+type LocalRunner struct {
+	Verifier *Verifier
+	Conn     ProverConn
+	// Lock, when non-nil, serializes audits through this runner. It is
+	// required when Conn rides a shared single-threaded transport — pass
+	// the same *sync.Mutex to every LocalRunner whose connections share
+	// one simnet.Network, so concurrent scheduler workers never interleave
+	// rounds on the simulator's virtual clock. Never share a Lock with a
+	// connection that can hang: an abandoned timed-out attempt would hold
+	// it and stall every runner behind it (give hang-prone provers their
+	// own runner, as examples/multitenant does for its dead prover).
+	Lock *sync.Mutex
+}
+
+var _ AuditRunner = (*LocalRunner)(nil)
+
+// RunAudit runs the timed rounds on the local verifier.
+func (r *LocalRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+	if r.Lock != nil {
+		r.Lock.Lock()
+		defer r.Lock.Unlock()
+	}
+	return r.Verifier.RunAudit(req, r.Conn)
+}
+
+// DialProverRunner drives audits through an in-process verifier device,
+// dialing a fresh prover connection per audit — the live-TCP deployment
+// where the scheduler host also hosts the verifier (geoverify's
+// local-verifier mode, scaled out). Per-audit dialing is what lets audits
+// against the same prover proceed concurrently up to the scheduler's
+// window.
+type DialProverRunner struct {
+	Verifier *Verifier
+	Dial     func() (ProverConn, error)
+	// AttemptTimeout, when positive, sets an absolute I/O deadline on the
+	// dialed connection (if it supports SetDeadline, as TCPProverConn
+	// does). Pair it with the scheduler's Timeout: the scheduler frees
+	// the window slot at its deadline, and this deadline makes the
+	// abandoned attempt itself unblock and close its connection instead
+	// of leaking against a hung prover.
+	AttemptTimeout time.Duration
+}
+
+var _ AuditRunner = (*DialProverRunner)(nil)
+
+// deadliner is the optional transport capability AttemptTimeout needs.
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+// RunAudit dials, runs the rounds, closes.
+func (r *DialProverRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+	conn, err := r.Dial()
+	if err != nil {
+		return SignedTranscript{}, fmt.Errorf("dial prover: %w", err)
+	}
+	if c, ok := conn.(io.Closer); ok {
+		defer c.Close()
+	}
+	if d, ok := conn.(deadliner); ok && r.AttemptTimeout > 0 {
+		if err := d.SetDeadline(time.Now().Add(r.AttemptTimeout)); err != nil {
+			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
+		}
+	}
+	return r.Verifier.RunAudit(req, conn)
+}
+
+// RemoteRunner ships each audit to a verifier daemon, dialing per audit so
+// concurrent audits get independent connections.
+type RemoteRunner struct {
+	Addr        string
+	DialTimeout time.Duration
+	// AttemptTimeout bounds the whole remote audit with an absolute I/O
+	// deadline on the daemon connection; see
+	// DialProverRunner.AttemptTimeout.
+	AttemptTimeout time.Duration
+}
+
+var _ AuditRunner = (*RemoteRunner)(nil)
+
+// RunAudit dials the daemon, submits the request and waits for the signed
+// transcript.
+func (r *RemoteRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+	timeout := r.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	rv, err := DialVerifier(r.Addr, timeout)
+	if err != nil {
+		return SignedTranscript{}, err
+	}
+	defer rv.Close()
+	if r.AttemptTimeout > 0 {
+		if err := rv.SetDeadline(time.Now().Add(r.AttemptTimeout)); err != nil {
+			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
+		}
+	}
+	return rv.RunAudit(req)
+}
+
+// AuditTask is one scheduled audit: which tenant wants which file checked
+// on which prover, and how many timed rounds to run.
+type AuditTask struct {
+	Tenant string
+	Prover string
+	FileID string
+	Layout blockfile.Layout
+	K      int
+}
+
+// Outcome classifies a scheduled audit's final result.
+type Outcome int
+
+// Outcomes, from best to worst.
+const (
+	// OutcomeAccepted: a transcript came back and passed every policy
+	// check.
+	OutcomeAccepted Outcome = iota
+	// OutcomeRejected: a transcript came back but failed verification
+	// (bad MACs, timing over Δt_max, position outside the SLA, …). The
+	// Report carries the broken-out reasons. Rejections are verdicts, not
+	// transient faults, so they are never retried.
+	OutcomeRejected
+	// OutcomeTimeout: no transcript within the per-attempt deadline on
+	// any attempt.
+	OutcomeTimeout
+	// OutcomeError: transport or configuration failure (dial refused,
+	// unregistered tenant/prover, bad request) on every attempt.
+	OutcomeError
+)
+
+// String returns the lower-case verdict label.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAccepted:
+		return "accepted"
+	case OutcomeRejected:
+		return "rejected"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeError:
+		return "error"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Verdict is the scheduler's record of one finished audit.
+type Verdict struct {
+	Task    AuditTask
+	Epoch   uint64
+	Outcome Outcome
+	// Report is the TPA's broken-out verification result; meaningful only
+	// for OutcomeAccepted and OutcomeRejected.
+	Report Report
+	// Err describes the last transport failure for OutcomeTimeout and
+	// OutcomeError.
+	Err      string
+	Attempts int
+	Elapsed  time.Duration
+}
+
+// LedgerKey identifies one cell of the audit ledger.
+type LedgerKey struct {
+	Tenant string
+	Prover string
+	Epoch  uint64
+}
+
+// LedgerEntry aggregates the verdicts recorded under one key.
+type LedgerEntry struct {
+	Audits   int
+	Accepted int
+	Rejected int
+	Timeouts int
+	Errors   int
+	// MaxRTT is the worst round-trip time any verified transcript in this
+	// cell reported.
+	MaxRTT time.Duration
+	// LastReason keeps the most recent rejection/error detail for display.
+	LastReason string
+}
+
+// merge folds another entry's aggregates into e. The caller owns reason
+// ordering: o's LastReason wins when set, so merge from oldest to newest.
+func (e *LedgerEntry) merge(o LedgerEntry) {
+	e.Audits += o.Audits
+	e.Accepted += o.Accepted
+	e.Rejected += o.Rejected
+	e.Timeouts += o.Timeouts
+	e.Errors += o.Errors
+	if o.MaxRTT > e.MaxRTT {
+		e.MaxRTT = o.MaxRTT
+	}
+	if o.LastReason != "" {
+		e.LastReason = o.LastReason
+	}
+}
+
+// add folds one verdict into the entry.
+func (e *LedgerEntry) add(v Verdict) {
+	e.Audits++
+	switch v.Outcome {
+	case OutcomeAccepted:
+		e.Accepted++
+	case OutcomeRejected:
+		e.Rejected++
+		e.LastReason = v.Report.Reason()
+	case OutcomeTimeout:
+		e.Timeouts++
+		e.LastReason = v.Err
+	case OutcomeError:
+		e.Errors++
+		e.LastReason = v.Err
+	}
+	if v.Report.MaxRTT > e.MaxRTT {
+		e.MaxRTT = v.Report.MaxRTT
+	}
+}
+
+// LedgerRow is one keyed entry in a ledger snapshot.
+type LedgerRow struct {
+	LedgerKey
+	LedgerEntry
+}
+
+// AuditLedger aggregates verdicts per (tenant, prover, epoch). It is safe
+// for concurrent use; the scheduler records every verdict as it lands.
+type AuditLedger struct {
+	mu      sync.Mutex
+	entries map[LedgerKey]*LedgerEntry
+}
+
+// NewAuditLedger returns an empty ledger.
+func NewAuditLedger() *AuditLedger {
+	return &AuditLedger{entries: make(map[LedgerKey]*LedgerEntry)}
+}
+
+// Record folds one verdict into the ledger.
+func (l *AuditLedger) Record(v Verdict) {
+	key := LedgerKey{Tenant: v.Task.Tenant, Prover: v.Task.Prover, Epoch: v.Epoch}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[key]
+	if !ok {
+		e = &LedgerEntry{}
+		l.entries[key] = e
+	}
+	e.add(v)
+}
+
+// Entry returns a copy of one cell.
+func (l *AuditLedger) Entry(tenant, prover string, epoch uint64) (LedgerEntry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[LedgerKey{Tenant: tenant, Prover: prover, Epoch: epoch}]
+	if !ok {
+		return LedgerEntry{}, false
+	}
+	return *e, true
+}
+
+// Snapshot returns every cell sorted by (epoch, tenant, prover).
+func (l *AuditLedger) Snapshot() []LedgerRow {
+	l.mu.Lock()
+	rows := make([]LedgerRow, 0, len(l.entries))
+	for k, e := range l.entries {
+		rows = append(rows, LedgerRow{LedgerKey: k, LedgerEntry: *e})
+	}
+	l.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Prover < b.Prover
+	})
+	return rows
+}
+
+// LedgerTotals is one line of an aggregated ledger view.
+type LedgerTotals struct {
+	Name string
+	LedgerEntry
+}
+
+// totalsBy aggregates every cell under key(k), sorted by key. Folding the
+// epoch-sorted snapshot (rather than ranging the map) keeps LastReason
+// deterministic: the surviving reason is from the latest epoch.
+func (l *AuditLedger) totalsBy(key func(LedgerKey) string) []LedgerTotals {
+	agg := make(map[string]*LedgerEntry)
+	for _, row := range l.Snapshot() {
+		name := key(row.LedgerKey)
+		t, ok := agg[name]
+		if !ok {
+			t = &LedgerEntry{}
+			agg[name] = t
+		}
+		t.merge(row.LedgerEntry)
+	}
+	names := make([]string, 0, len(agg))
+	for name := range agg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]LedgerTotals, 0, len(names))
+	for _, name := range names {
+		rows = append(rows, LedgerTotals{Name: name, LedgerEntry: *agg[name]})
+	}
+	return rows
+}
+
+// CompactBefore folds every cell from an epoch below the given one into
+// its (tenant, prover) archive cell, stored under epoch 0 (real epochs
+// start at 1). Aggregate views are unchanged by compaction — only the
+// per-epoch resolution of old epochs is given up — so continuous
+// deployments can call this periodically to bound ledger memory at
+// tenants × provers × (kept epochs + 1) cells.
+func (l *AuditLedger) CompactBefore(epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var old []LedgerKey
+	for k := range l.entries {
+		if k.Epoch != 0 && k.Epoch < epoch {
+			old = append(old, k)
+		}
+	}
+	// Merge oldest epoch first so an archive cell's LastReason is the
+	// most recent compacted reason, deterministically.
+	sort.Slice(old, func(i, j int) bool {
+		a, b := old[i], old[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Prover < b.Prover
+	})
+	for _, k := range old {
+		ak := LedgerKey{Tenant: k.Tenant, Prover: k.Prover}
+		a, ok := l.entries[ak]
+		if !ok {
+			a = &LedgerEntry{}
+			l.entries[ak] = a
+		}
+		a.merge(*l.entries[k])
+		delete(l.entries, k)
+	}
+}
+
+// TotalsByProver aggregates across tenants and epochs, one line per
+// prover.
+func (l *AuditLedger) TotalsByProver() []LedgerTotals {
+	return l.totalsBy(func(k LedgerKey) string { return k.Prover })
+}
+
+// TotalsByTenant aggregates across provers and epochs, one line per
+// tenant.
+func (l *AuditLedger) TotalsByTenant() []LedgerTotals {
+	return l.totalsBy(func(k LedgerKey) string { return k.Tenant })
+}
+
+// FairOrder interleaves tasks round-robin across tenants: each round every
+// tenant contributes up to weight[tenant] of its remaining tasks (missing
+// or non-positive weight = 1) before any tenant gets another turn.
+// Relative order within a tenant is preserved, tenants take turns in order
+// of first appearance, and the result is deterministic — so a burst of
+// 10 000 tasks from one tenant cannot starve the tenant that queued 10.
+func FairOrder(tasks []AuditTask, weights map[string]int) []AuditTask {
+	queues := make(map[string][]AuditTask)
+	var tenants []string
+	for _, t := range tasks {
+		if _, ok := queues[t.Tenant]; !ok {
+			tenants = append(tenants, t.Tenant)
+		}
+		queues[t.Tenant] = append(queues[t.Tenant], t)
+	}
+	out := make([]AuditTask, 0, len(tasks))
+	for len(out) < len(tasks) {
+		for _, tenant := range tenants {
+			q := queues[tenant]
+			if len(q) == 0 {
+				continue
+			}
+			take := 1
+			if w := weights[tenant]; w > 1 {
+				take = w
+			}
+			if take > len(q) {
+				take = len(q)
+			}
+			out = append(out, q[:take]...)
+			queues[tenant] = q[take:]
+		}
+	}
+	return out
+}
+
+// SchedulerConfig carries the scheduler's knobs.
+type SchedulerConfig struct {
+	// Workers bounds concurrently running audits across all provers
+	// (≤ 0 = runtime.NumCPU()). Workers follows the stack-wide
+	// Concurrency convention: 1 dispatches strictly sequentially in fair
+	// order on the calling goroutine.
+	Workers int
+	// ProverWindow bounds in-flight audits per prover (≤ 0 = 1). A slot
+	// is held only while the prover is actually being driven — not during
+	// retry backoff or TPA-side verification — so a slow prover throttles
+	// its own queue without idling the rest of the fleet.
+	ProverWindow int
+	// Timeout is the per-attempt deadline (0 = wait forever). A timed-out
+	// attempt frees the prover slot immediately and its eventual result
+	// is discarded, so the ProverWindow bound counts scheduler-tracked
+	// attempts: an abandoned call may still occupy the transport briefly.
+	// Set the runner's AttemptTimeout alongside this so abandoned TCP
+	// attempts unblock and close their connections instead of leaking.
+	Timeout time.Duration
+	// Retries is how many times a transport failure or timeout is retried
+	// (rejected transcripts are verdicts and are never retried).
+	Retries int
+	// RetryBackoff is slept between attempts, outside the prover window.
+	RetryBackoff time.Duration
+	// Weights are per-tenant fairness weights for FairOrder.
+	Weights map[string]int
+	// OnVerdict, when set, observes every verdict as it lands — the live
+	// summary hook. It is called concurrently from scheduler workers and
+	// must be safe for concurrent use.
+	OnVerdict func(Verdict)
+}
+
+// proverState is the per-prover dispatch state.
+type proverState struct {
+	runner AuditRunner
+	window chan struct{}
+}
+
+// Scheduler drives many concurrent audits — request → challenge rounds →
+// transcript → verification → verdict — for many tenants against many
+// provers, and aggregates the verdicts in an AuditLedger. Construct with
+// NewScheduler, register tenants and provers, then call RunEpoch with the
+// epoch's task list. Registration is not safe concurrently with RunEpoch;
+// concurrent RunEpoch calls are safe but share the per-prover windows.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	tenants map[string]*TPA
+	provers map[string]*proverState
+	epoch   atomic.Uint64
+	ledger  *AuditLedger
+}
+
+// NewScheduler builds an empty scheduler with the given policy knobs.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.ProverWindow <= 0 {
+		cfg.ProverWindow = 1
+	}
+	return &Scheduler{
+		cfg:     cfg,
+		tenants: make(map[string]*TPA),
+		provers: make(map[string]*proverState),
+		ledger:  NewAuditLedger(),
+	}
+}
+
+// RegisterTenant installs the auditor acting for a tenant. The TPA holds
+// that tenant's POR encoder (master secret), verifier key and acceptance
+// policy; several tenant names may share one *TPA when they share
+// parameters.
+func (s *Scheduler) RegisterTenant(name string, tpa *TPA) {
+	s.tenants[name] = tpa
+}
+
+// RegisterProver installs the runner that audits a prover, giving it a
+// fresh in-flight window of ProverWindow slots.
+func (s *Scheduler) RegisterProver(name string, r AuditRunner) {
+	s.provers[name] = &proverState{
+		runner: r,
+		window: make(chan struct{}, s.cfg.ProverWindow),
+	}
+}
+
+// Ledger exposes the scheduler's verdict ledger.
+func (s *Scheduler) Ledger() *AuditLedger { return s.ledger }
+
+// RunEpoch dispatches one epoch of audits and blocks until every verdict
+// is in. Tasks are ordered by FairOrder, fanned out over Workers
+// goroutines through parallel.Pipeline (so at most Workers + depth tasks
+// are staged at once no matter how long the list is), and each task
+// respects its prover's in-flight window. Verdicts are returned in
+// dispatch (fair) order and are also folded into the ledger.
+func (s *Scheduler) RunEpoch(tasks []AuditTask) []Verdict {
+	epoch := s.epoch.Add(1)
+	order := FairOrder(tasks, s.cfg.Weights)
+	verdicts := make([]Verdict, len(order))
+	workers := parallel.Resolve(s.cfg.Workers)
+	type job struct {
+		i    int
+		task AuditTask
+	}
+	// Neither producer nor consumer returns an error: every failure mode
+	// becomes a verdict, so one broken prover cannot abort the epoch.
+	parallel.Pipeline(workers, workers, func(emit func(job) error) error {
+		for i, t := range order {
+			if err := emit(job{i: i, task: t}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, func(j job) error {
+		v := s.runOne(epoch, j.task)
+		verdicts[j.i] = v
+		s.ledger.Record(v)
+		if s.cfg.OnVerdict != nil {
+			s.cfg.OnVerdict(v)
+		}
+		return nil
+	})
+	return verdicts
+}
+
+// runOne executes one task to a verdict: fresh nonce, windowed attempt
+// with timeout, bounded retries, then TPA verification.
+func (s *Scheduler) runOne(epoch uint64, task AuditTask) Verdict {
+	start := time.Now()
+	v := Verdict{Task: task, Epoch: epoch}
+	finish := func() Verdict {
+		v.Elapsed = time.Since(start)
+		return v
+	}
+	tpa, ok := s.tenants[task.Tenant]
+	if !ok {
+		v.Outcome, v.Err = OutcomeError, fmt.Sprintf("unregistered tenant %q", task.Tenant)
+		return finish()
+	}
+	prover, ok := s.provers[task.Prover]
+	if !ok {
+		v.Outcome, v.Err = OutcomeError, fmt.Sprintf("unregistered prover %q", task.Prover)
+		return finish()
+	}
+	for attempt := 0; ; attempt++ {
+		v.Attempts = attempt + 1
+		// Fresh nonce per attempt: a transcript from a timed-out earlier
+		// attempt can never be replayed against a later one.
+		req, err := tpa.NewRequest(task.FileID, task.Layout, task.K)
+		if err != nil {
+			v.Outcome, v.Err = OutcomeError, err.Error()
+			return finish()
+		}
+		st, err := s.windowedAttempt(prover, req)
+		if err == nil {
+			v.Report = tpa.VerifyAudit(req, task.Layout, st)
+			if v.Report.Accepted {
+				v.Outcome = OutcomeAccepted
+			} else {
+				v.Outcome = OutcomeRejected
+			}
+			return finish()
+		}
+		v.Err = err.Error()
+		if attempt >= s.cfg.Retries {
+			if errors.Is(err, ErrAuditTimeout) {
+				v.Outcome = OutcomeTimeout
+			} else {
+				v.Outcome = OutcomeError
+			}
+			return finish()
+		}
+		if s.cfg.RetryBackoff > 0 {
+			time.Sleep(s.cfg.RetryBackoff)
+		}
+	}
+}
+
+// windowedAttempt holds one of the prover's in-flight slots for the
+// duration of a single attempt. On timeout the slot is released and the
+// abandoned call's late result is dropped (the result channel is buffered
+// so the goroutine never leaks on send).
+func (s *Scheduler) windowedAttempt(p *proverState, req AuditRequest) (SignedTranscript, error) {
+	p.window <- struct{}{}
+	if s.cfg.Timeout <= 0 {
+		defer func() { <-p.window }()
+		return p.runner.RunAudit(req)
+	}
+	type result struct {
+		st  SignedTranscript
+		err error
+	}
+	// The slot must be released exactly once whether the attempt finishes
+	// or the deadline fires first; whichever side loses the race finds the
+	// release already done.
+	var released atomic.Bool
+	release := func() {
+		if released.CompareAndSwap(false, true) {
+			<-p.window
+		}
+	}
+	done := make(chan result, 1)
+	go func() {
+		st, err := p.runner.RunAudit(req)
+		release()
+		done <- result{st: st, err: err}
+	}()
+	timer := time.NewTimer(s.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.st, r.err
+	case <-timer.C:
+		release()
+		return SignedTranscript{}, ErrAuditTimeout
+	}
+}

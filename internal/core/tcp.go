@@ -149,6 +149,11 @@ func DialProver(addr string, timeout time.Duration) (*TCPProverConn, error) {
 // Close closes the underlying connection.
 func (c *TCPProverConn) Close() error { return c.conn.Close() }
 
+// SetDeadline bounds all future reads and writes on the connection. The
+// audit scheduler sets an absolute per-attempt deadline so a hung prover
+// surfaces as an I/O timeout instead of blocking a goroutine forever.
+func (c *TCPProverConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
+
 // Ping round-trips an empty frame, for liveness checks and LAN-latency
 // baselining.
 func (c *TCPProverConn) Ping() (time.Duration, error) {

@@ -127,6 +127,10 @@ func DialVerifier(addr string, timeout time.Duration) (*RemoteVerifier, error) {
 // Close closes the TPA↔verifier connection.
 func (r *RemoteVerifier) Close() error { return r.conn.Close() }
 
+// SetDeadline bounds all future reads and writes on the connection; see
+// TCPProverConn.SetDeadline.
+func (r *RemoteVerifier) SetDeadline(t time.Time) error { return r.conn.SetDeadline(t) }
+
 // RunAudit submits the request and waits for the signed transcript.
 func (r *RemoteVerifier) RunAudit(req AuditRequest) (SignedTranscript, error) {
 	if err := wire.WriteFrame(r.conn, wire.TypeAuditRequest, EncodeAuditRequest(req)); err != nil {

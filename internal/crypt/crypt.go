@@ -1,12 +1,3 @@
-// Package crypt bundles the cryptographic primitives GeoProof builds on:
-// key derivation, AES-CTR bulk encryption, truncated HMAC segment tags and
-// ECDSA transcript signatures.
-//
-// The paper's setup phase (§V-A) encrypts the error-corrected file with a
-// symmetric cipher, permutes it, then MACs v-block segments with short
-// (e.g. 20-bit) tags; the verifier device signs audit transcripts with a
-// private key (§V-B). All primitives here are from the Go standard
-// library; only composition is local.
 package crypt
 
 import (

@@ -1,0 +1,18 @@
+// Package crypt bundles the cryptographic primitives GeoProof builds on:
+// key derivation, AES-CTR bulk encryption, truncated HMAC segment tags and
+// ECDSA transcript signatures.
+//
+// The paper's setup phase (§V-A) encrypts the error-corrected file with a
+// symmetric cipher, permutes it, then MACs v-block segments with short
+// (e.g. 20-bit) tags; the verifier device signs audit transcripts with a
+// private key (§V-B). All primitives here are from the Go standard
+// library; only composition is local.
+//
+// The bulk paths are built for the concurrent encoder: EncryptCTRAt seeks
+// the CTR keystream to an arbitrary (even unaligned) byte offset so
+// shards of one stream can be encrypted independently and bit-identically
+// to cipher.NewCTR; EncryptBlocks is the multi-block ECB shim behind both
+// that seeking CTR and prp's batched Feistel rounds; Tagger precomputes
+// its HMAC inner/outer states once per file, making per-segment tagging
+// and VerifyTag allocation-free.
+package crypt

@@ -1,30 +1,3 @@
-// Package gf256 implements arithmetic over the finite field GF(2^8).
-//
-// The field is realised as GF(2)[x]/(x^8 + x^4 + x^3 + x^2 + 1), i.e. the
-// primitive polynomial 0x11D conventionally used by Reed-Solomon codes
-// (CCSDS / QR / RAID-6 style). The generator element is α = 0x02.
-//
-// All operations are table-driven: a 256-entry log table and a 510-entry
-// anti-log (exp) table make multiplication, division and exponentiation a
-// couple of array lookups, and a full 256×256 product table backs the bulk
-// slab kernels (MulRow, MulSlice, AddMulSlice, Reducer in slab.go) that
-// the Reed-Solomon data plane is built on. The tables are computed once at
-// package initialisation from the primitive polynomial; the computation is
-// fully deterministic and performs no I/O, which keeps it within the
-// accepted uses of init-time work.
-//
-// # Slab kernel layout
-//
-// The bulk kernels avoid per-byte log/exp pairs in two ways. Scalar
-// chained evaluations use precomputed multiplication rows: MulRow(c) is
-// the 256-entry row c·x, so a Horner step is one dependent L1 load. Long
-// vectors use bit-sliced 64-bit batching: multiplication by a constant c
-// is linear over GF(2), so eight bytes packed in a uint64 are multiplied
-// by XOR-accumulating, for each input-bit position b, the lane mask of bit
-// b ANDed with the byte c·x^b replicated into all eight lanes — five ALU
-// ops per bit position, 8 bytes per step, no lookups. Reducer additionally
-// precomputes 256 word-packed rows v·(divisor tail) so each polynomial-
-// division step is a few unaligned 64-bit XORs; see slab.go.
 package gf256
 
 // Poly is the primitive polynomial x^8+x^4+x^3+x^2+1 used to construct the

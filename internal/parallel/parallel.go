@@ -1,14 +1,3 @@
-// Package parallel is the shared fan-out helper behind GeoProof's
-// concurrency knob: a tiny errgroup-style worker pool used by the POR
-// setup/extract pipeline, TPA-side batch verification and the simulated
-// cloud's segment reads.
-//
-// Every entry point takes an explicit worker count so callers can thread
-// one Concurrency setting through the whole stack: values ≤ 0 resolve to
-// runtime.NumCPU(), and 1 executes the loop inline on the calling
-// goroutine — byte-for-byte the sequential behaviour, with zero goroutine
-// overhead — which is what makes "Concurrency: 1 = exact sequential
-// semantics" a checkable guarantee rather than a convention.
 package parallel
 
 import (

@@ -1,31 +1,3 @@
-// Package por implements the proof-of-storage component of GeoProof: the
-// MAC-based variant of the Juels-Kaliski proof of retrievability [19]
-// selected by the paper (§IV, §V-A).
-//
-// Setup pipeline (§V-A):
-//  1. split the file F into 128-bit blocks,
-//  2. apply the (255,223,32) Reed-Solomon code per 255-block chunk → F′,
-//  3. encrypt with a symmetric cipher → F″,
-//  4. reorder blocks with a pseudorandom permutation → F‴,
-//  5. group v=5 blocks per segment and embed a truncated MAC per segment
-//     → F̃, which is what the cloud stores.
-//
-// The verifier challenges random segment indices; the prover returns
-// segment‖tag; anyone holding the MAC key verifies
-// τ_i = MAC_K′(S_i, i, fid). Recovery (Extract) inverts the pipeline and
-// uses the MAC verdicts as erasure hints for the Reed-Solomon decoder.
-//
-// # Concurrency
-//
-// Every stage of the pipeline is embarrassingly parallel: chunks are
-// error-corrected independently, the CTR keystream can be applied per
-// shard, the permutation scatters blocks to disjoint destinations, and
-// segments are tagged (and verified) independently. The Encoder therefore
-// carries a Concurrency knob, set with WithConcurrency: 0 (the default)
-// fans each stage out over runtime.NumCPU() workers, 1 runs the exact
-// sequential pipeline on the calling goroutine, and any other value caps
-// the worker count. Output is byte-identical at every setting — the knob
-// trades CPU for wall clock, never determinism.
 package por
 
 import (

@@ -1,0 +1,25 @@
+// Package prp provides keyed pseudorandom permutations over an arbitrary
+// integer domain [0, n).
+//
+// GeoProof's POR setup (paper §V-A, step 4) reorders the encrypted file
+// blocks with a pseudorandom permutation in the spirit of Luby-Rackoff
+// [28]. Two constructions are provided:
+//
+//   - Feistel: an unbalanced-domain Luby-Rackoff network realised as a
+//     balanced Feistel cipher on the smallest even-bit-width power of two
+//     covering the domain, composed with cycle walking to restrict it to
+//     [0, n). This is the classical PRF→PRP construction the paper cites;
+//     the round function is a single AES block encryption, kept fast on
+//     the bulk-encode path by a memoized per-round table (round inputs
+//     only span half ≤ 17 bits at realistic file sizes) with an AES tile
+//     fallback for huge domains.
+//   - SwapOrNot: the Hoang-Morris-Rogaway swap-or-not shuffle, which acts
+//     on [0, n) natively without cycle walking (HMAC-based round bits;
+//     the ablation partner in the benchmarks).
+//
+// Both satisfy the Permutation interface, are deterministic for a given
+// key, and are safe for concurrent use. IndexBatch is the bulk entry
+// point the encoder's permutation stage uses: it evaluates a whole slice
+// of indices with the per-round state loaded once, batching independent
+// AES blocks per round over 64-element SoA tiles.
+package prp

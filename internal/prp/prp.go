@@ -1,22 +1,3 @@
-// Package prp provides keyed pseudorandom permutations over an arbitrary
-// integer domain [0, n).
-//
-// GeoProof's POR setup (paper §V-A, step 4) reorders the encrypted file
-// blocks with a pseudorandom permutation in the spirit of Luby-Rackoff
-// [28]. Two constructions are provided:
-//
-//   - Feistel: an unbalanced-domain Luby-Rackoff network realised as a
-//     balanced Feistel cipher on the smallest even-bit-width power of two
-//     covering the domain, composed with cycle walking to restrict it to
-//     [0, n). This is the classical PRF→PRP construction the paper cites;
-//     the round function is a single AES block encryption, keeping the
-//     bulk-encode path fast.
-//   - SwapOrNot: the Hoang-Morris-Rogaway swap-or-not shuffle, which acts
-//     on [0, n) natively without cycle walking (HMAC-based round bits;
-//     the ablation partner in the benchmarks).
-//
-// Both satisfy the Permutation interface, are deterministic for a given
-// key, and are safe for concurrent use.
 package prp
 
 import (

@@ -1,0 +1,21 @@
+// Package reedsolomon implements systematic Reed-Solomon codes over
+// GF(2^8), including a full decoder (Berlekamp-Massey, Chien search and
+// Forney's algorithm) that corrects both errors and erasures.
+//
+// GeoProof's POR setup phase (paper §V-A, step 2) applies the adapted
+// (255, 223, 32) Reed-Solomon code to each 255-block chunk of the file. The
+// paper states the code over GF(2^128); we realise the identical chunk
+// geometry over GF(2^8) by interleaving (see BlockCode): each of the 16
+// byte positions of a 128-bit block forms an independent (255,223)
+// codeword, so any pattern of up to 16 corrupted *blocks* per chunk remains
+// correctable (up to 32 as erasures), exactly matching the per-block
+// correction power the paper relies on.
+//
+// The hot paths run on the gf256 slab engine: Encode/EncodeChunk compute
+// parity as a single table-driven polynomial reduction, Verify and the
+// clean-path Decode are one reduction plus a zero-remainder check (a clean
+// chunk never touches Berlekamp-Massey), and syndromes are evaluated from
+// the 32-byte remainder rather than the full codeword. Byte-at-a-time
+// reference implementations are retained unexported in reference.go as
+// differential-fuzzing oracles.
+package reedsolomon

@@ -1,15 +1,3 @@
-// Package reedsolomon implements systematic Reed-Solomon codes over
-// GF(2^8), including a full decoder (Berlekamp-Massey, Chien search and
-// Forney's algorithm) that corrects both errors and erasures.
-//
-// GeoProof's POR setup phase (paper §V-A, step 2) applies the adapted
-// (255, 223, 32) Reed-Solomon code to each 255-block chunk of the file. The
-// paper states the code over GF(2^128); we realise the identical chunk
-// geometry over GF(2^8) by interleaving (see BlockCode): each of the 16
-// byte positions of a 128-bit block forms an independent (255,223)
-// codeword, so any pattern of up to 16 corrupted *blocks* per chunk remains
-// correctable (up to 32 as erasures), exactly matching the per-block
-// correction power the paper relies on.
 package reedsolomon
 
 import (
