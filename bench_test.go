@@ -28,6 +28,7 @@ import (
 	"repro/internal/por"
 	"repro/internal/prp"
 	"repro/internal/reedsolomon"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -320,6 +321,72 @@ func BenchmarkPORStreamEncode64MiB(b *testing.B) {
 		b.Fatalf("streaming encode held %.1f MiB resident, over the %.0f MiB bound (file/4)",
 			float64(growth)/(1<<20), float64(size)/4/(1<<20))
 	}
+}
+
+// BenchmarkPORStreamEncode4MiB compares the two file-backed destinations
+// of a streaming encode at 4 MiB: "scatter" is the PR 3 path (a flat
+// *os.File absorbing one 16-byte WriteAt per permuted block) and "store"
+// is the persistent sharded store's write-combining placer (staged
+// windows → sorted log spills → sequential shard materialisation,
+// including manifest Commit with checksums). The store row is the
+// ROADMAP scatter-syscall item's fix: it must comfortably beat scatter
+// MB/s and approach the in-memory pipeline.
+func BenchmarkPORStreamEncode4MiB(b *testing.B) {
+	const size = 4 << 20
+	enc := por.NewEncoder([]byte("bench-master")).WithConcurrency(4)
+	dir := b.TempDir()
+	inPath := filepath.Join(dir, "in")
+	if err := os.WriteFile(inPath, benchData(size), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	layout, err := blockfile.NewLayout(enc.Params(), size)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("scatter", func(b *testing.B) {
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			in, err := os.Open(inPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := os.OpenFile(filepath.Join(dir, "enc"), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := enc.EncodeStream("bench", in, size, f); err != nil {
+				b.Fatal(err)
+			}
+			in.Close()
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("store", func(b *testing.B) {
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			in, err := os.Open(inPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := store.Create(filepath.Join(dir, "store"), "bench", layout, store.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := enc.EncodeStream("bench", in, size, w); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := w.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			in.Close()
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchEncoders returns the same encoder at Concurrency 1 and NumCPU, for

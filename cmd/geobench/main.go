@@ -29,10 +29,12 @@ func run() error {
 	workers := flag.Int("j", 0, "POR pipeline concurrency (0 = all CPUs, 1 = sequential)")
 	mib := flag.Int("mib", 1, "file size in MiB for the measured E4 encode/extract throughput rows")
 	stream := flag.Bool("stream", false, "measure E4 with the file-to-file streaming pipeline (bounded memory) instead of the in-memory one")
+	storeMode := flag.Bool("store", false, "measure E4 through the persistent sharded store (write-combining placer + committed manifest)")
 	flag.Parse()
 	experiments.Concurrency = *workers
 	experiments.MeasuredMiB = *mib
 	experiments.StreamMode = *stream
+	experiments.StoreMode = *storeMode
 
 	type gen func() (experiments.Table, error)
 	gens := map[int]gen{

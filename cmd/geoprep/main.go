@@ -5,6 +5,11 @@
 // Usage:
 //
 //	geoprep -in data.db -out data.geo -meta data.meta.json [-id fileID]
+//	geoprep -in data.db -store data.store -meta data.meta.json
+//
+// With -store the encode streams straight into a persistent sharded
+// store directory (write-combining placer, crash-safe manifest commit)
+// that geoproofd -store serves without re-running setup.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/meta"
 	"repro/internal/por"
+	"repro/internal/store"
 )
 
 func main() {
@@ -34,6 +40,8 @@ func run() error {
 	fileID := flag.String("id", "", "file identifier (default input basename)")
 	workers := flag.Int("j", 0, "setup pipeline concurrency (0 = all CPUs, 1 = sequential)")
 	stream := flag.Bool("stream", false, "stream file-to-file with bounded memory (never loads the whole file)")
+	storeDir := flag.String("store", "", "encode into a persistent sharded store directory instead of a flat .geo file (implies streaming)")
+	storeSync := flag.Bool("store-sync", false, "fsync shard files at store commit (power-loss durable)")
 	flag.Parse()
 
 	if *in == "" {
@@ -56,7 +64,39 @@ func run() error {
 	enc := por.NewEncoder(master).WithConcurrency(*workers)
 
 	var layout blockfile.Layout
-	if *stream {
+	if *storeDir != "" {
+		// Store mode: stream the encode through the write-combining
+		// placer into a sharded directory and commit its manifest, so a
+		// prover daemon can serve (and re-serve, across restarts) the
+		// file without ever re-running setup.
+		inF, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("open input: %w", err)
+		}
+		defer inF.Close()
+		st, err := inF.Stat()
+		if err != nil {
+			return fmt.Errorf("stat input: %w", err)
+		}
+		layout, err = blockfile.NewLayout(enc.Params(), st.Size())
+		if err != nil {
+			return fmt.Errorf("layout: %w", err)
+		}
+		w, err := store.Create(*storeDir, *fileID, layout, store.Options{Sync: *storeSync})
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		if _, err := enc.EncodeStream(*fileID, inF, st.Size(), w); err != nil {
+			return fmt.Errorf("encode into store: %w", err)
+		}
+		man, err := w.Commit()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed store %s: epoch %d, %d shards of ≤%d bytes\n",
+			*storeDir, man.Epoch, len(man.Shards), man.ShardBytes)
+	} else if *stream {
 		// Streaming mode: chunk-pipelined encode from the input file
 		// straight into the output file; resident memory stays bounded by
 		// the worker pool's chunk buffers no matter the file size.
@@ -107,6 +147,10 @@ func run() error {
 	}
 	fmt.Printf("prepared %q: %d bytes -> %d encoded bytes (%.2f%% overhead), %d segments\n",
 		*fileID, layout.OrigBytes, layout.EncodedBytes, layout.TotalOverhead()*100, layout.Segments)
-	fmt.Printf("upload %s to the provider; keep %s private\n", *out, *metaPath)
+	dest := *out
+	if *storeDir != "" {
+		dest = *storeDir
+	}
+	fmt.Printf("upload %s to the provider; keep %s private\n", dest, *metaPath)
 	return nil
 }

@@ -1,11 +1,18 @@
-// Command geoproofd is the prover daemon: it serves a prepared (.geo)
-// file's segments over TCP, optionally simulating a disk technology's
-// look-up latency so timing experiments behave like the paper's data
-// centres.
+// Command geoproofd is the prover daemon: it serves a prepared file's
+// segments over TCP, optionally simulating a disk technology's look-up
+// latency so timing experiments behave like the paper's data centres.
 //
 // Usage:
 //
 //	geoproofd -file data.geo -meta data.meta.json -addr :9341 [-disk wd2500jd] [-simulate]
+//	geoproofd -store data.store -addr :9341
+//
+// With -store the daemon reopens a committed sharded store directory
+// (written by geoprep -store): no -file/-meta needed — the manifest
+// carries the layout — nothing is re-encoded or loaded into memory, and
+// challenged segments are served by concurrent positioned reads straight
+// from the shard files. -store-verify (default true) checks every
+// shard's CRC against the manifest before serving.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"repro/internal/disk"
 	"repro/internal/geo"
 	"repro/internal/meta"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,48 +49,75 @@ func diskByName(name string) (disk.Model, error) {
 func run() error {
 	file := flag.String("file", "", "encoded .geo file to serve")
 	metaPath := flag.String("meta", "", "metadata sidecar (only layout fields are used)")
+	storeDir := flag.String("store", "", "serve from a committed store directory (geoprep -store); replaces -file/-meta")
+	storeVerify := flag.Bool("store-verify", true, "check shard checksums against the manifest before serving")
 	addr := flag.String("addr", ":9341", "listen address")
 	diskName := flag.String("disk", "wd2500jd", "disk model for simulated look-up latency")
 	simulate := flag.Bool("simulate", false, "sleep the modelled look-up latency per request")
 	workers := flag.Int("j", 0, "max concurrently served verifier connections (0 = unlimited)")
 	flag.Parse()
 
-	if *file == "" || *metaPath == "" {
-		return fmt.Errorf("-file and -meta are required")
-	}
-	m, err := meta.Load(*metaPath)
-	if err != nil {
-		return err
-	}
-	layout, err := m.Layout()
-	if err != nil {
-		return err
-	}
-	data, err := os.ReadFile(*file)
-	if err != nil {
-		return fmt.Errorf("read encoded file: %w", err)
-	}
-	if int64(len(data)) != layout.EncodedBytes {
-		return fmt.Errorf("encoded file is %d bytes, layout expects %d", len(data), layout.EncodedBytes)
-	}
 	model, err := diskByName(*diskName)
 	if err != nil {
 		return err
 	}
-
 	site := cloud.NewSite(cloud.DataCenter{
 		Name:     "geoproofd",
 		Position: geo.Brisbane,
 		Disk:     model,
 	}, 1)
-	site.Store(m.FileID, layout, data)
+
+	var fileID string
+	var segments int64
+	if *storeDir != "" {
+		// Persistent mode: reopen the committed store — layout and file
+		// identity come from the manifest, nothing is re-encoded and the
+		// payload never loads into memory.
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if *storeVerify {
+			if err := st.Verify(); err != nil {
+				return err
+			}
+		}
+		fileID = st.FileID()
+		segments = st.Layout().Segments
+		site.StoreOn(fileID, st.Layout(), st)
+		fmt.Printf("reopened store %s: epoch %d, %d shards, verified=%v\n",
+			*storeDir, st.Manifest().Epoch, len(st.Manifest().Shards), *storeVerify)
+	} else {
+		if *file == "" || *metaPath == "" {
+			return fmt.Errorf("either -store or both -file and -meta are required")
+		}
+		m, err := meta.Load(*metaPath)
+		if err != nil {
+			return err
+		}
+		layout, err := m.Layout()
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return fmt.Errorf("read encoded file: %w", err)
+		}
+		if int64(len(data)) != layout.EncodedBytes {
+			return fmt.Errorf("encoded file is %d bytes, layout expects %d", len(data), layout.EncodedBytes)
+		}
+		fileID = m.FileID
+		segments = layout.Segments
+		site.Store(m.FileID, layout, data)
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
 	fmt.Printf("serving %q (%d segments, disk %s, simulate=%v, concurrency=%d) on %s\n",
-		m.FileID, layout.Segments, model.Name, *simulate, *workers, lis.Addr())
+		fileID, segments, model.Name, *simulate, *workers, lis.Addr())
 	srv := &core.ProverServer{
 		Provider:            &cloud.HonestProvider{Site: site},
 		SimulateServiceTime: *simulate,

@@ -15,16 +15,23 @@
 //	geoverifierd -addr :9342 -prover host:9341 [-lat -27.4698 -lon 153.0251]
 //	geoverifierd -audit -meta data.meta.json -provers host:9341,host2:9341 \
 //	    [-tenants 8] [-epochs 3] [-k 20] [-tmax 50ms] [-window 2] \
-//	    [-timeout 5s] [-retries 1] [-j 8]
+//	    [-timeout 5s] [-retries 1] [-j 8] \
+//	    [-policy host2:9341=window=1,timeout=20s,retries=0]
+//
+// -policy (repeatable) layers per-prover overrides over the fleet knobs:
+// a slow WAN site can get a wider deadline and narrower window without
+// loosening the LAN fleet's policy.
 package main
 
 import (
+	"context"
 	"crypto/elliptic"
 	"encoding/hex"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -62,6 +69,18 @@ func run() error {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt audit deadline (audit mode)")
 	retries := flag.Int("retries", 1, "retries after a transport failure or timeout (audit mode)")
 	workers := flag.Int("j", 0, "concurrent audits across all provers, 0 = NumCPU (audit mode)")
+	policies := map[string]core.ProverPolicy{}
+	flag.Func("policy",
+		"per-prover policy override, repeatable: addr=window=N,timeout=D,retries=N,backoff=D "+
+			"(timeout=0 disables the deadline, retries=0 disables retries for that prover)",
+		func(v string) error {
+			addr, p, err := parsePolicy(v)
+			if err != nil {
+				return err
+			}
+			policies[addr] = p
+			return nil
+		})
 	flag.Parse()
 
 	signer, err := crypt.NewSigner()
@@ -85,6 +104,7 @@ func run() error {
 			tenants: *tenants, epochs: *epochs, k: *k,
 			tmax: *tmax, radiusKm: *radius, lat: *lat, lon: *lon,
 			window: *window, timeout: *timeout, retries: *retries, workers: *workers,
+			policies: policies,
 		})
 	}
 
@@ -121,6 +141,66 @@ type schedOpts struct {
 	timeout   time.Duration
 	retries   int
 	workers   int
+	policies  map[string]core.ProverPolicy
+}
+
+// parsePolicy parses one -policy value: "addr=knob=value,knob=value,...".
+// A knob explicitly set to zero means "off" for that prover (mapped to
+// the ProverPolicy negative sentinel); an omitted knob inherits the
+// fleet default.
+func parsePolicy(v string) (string, core.ProverPolicy, error) {
+	addr, spec, ok := strings.Cut(v, "=")
+	if !ok || addr == "" {
+		return "", core.ProverPolicy{}, fmt.Errorf("policy %q: want addr=knob=value,...", v)
+	}
+	var p core.ProverPolicy
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", core.ProverPolicy{}, fmt.Errorf("policy %q: bad knob %q", v, kv)
+		}
+		switch key {
+		case "window":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return "", core.ProverPolicy{}, fmt.Errorf("policy %q: window %q must be a positive integer", v, val)
+			}
+			p.Window = n
+		case "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return "", core.ProverPolicy{}, fmt.Errorf("policy %q: bad timeout %q", v, val)
+			}
+			if d == 0 {
+				p.Timeout = -1
+			} else {
+				p.Timeout = d
+			}
+		case "retries":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return "", core.ProverPolicy{}, fmt.Errorf("policy %q: bad retries %q", v, val)
+			}
+			if n == 0 {
+				p.Retries = -1
+			} else {
+				p.Retries = n
+			}
+		case "backoff":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return "", core.ProverPolicy{}, fmt.Errorf("policy %q: bad backoff %q", v, val)
+			}
+			if d == 0 {
+				p.RetryBackoff = -1
+			} else {
+				p.RetryBackoff = d
+			}
+		default:
+			return "", core.ProverPolicy{}, fmt.Errorf("policy %q: unknown knob %q (window, timeout, retries, backoff)", v, key)
+		}
+	}
+	return addr, p, nil
 }
 
 // runScheduler is audit mode: this process is both the verifier device and
@@ -181,6 +261,17 @@ func runScheduler(o schedOpts) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("no prover addresses given")
 	}
+	// A policy that matches no prover is an operator typo; silently
+	// running without the override would be worse than refusing.
+	known := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		known[a] = true
+	}
+	for a := range o.policies {
+		if !known[a] {
+			return fmt.Errorf("-policy for %q matches no -provers address (have %s)", a, strings.Join(addrs, ", "))
+		}
+	}
 	var tasks []core.AuditTask
 	for t := 0; t < o.tenants; t++ {
 		name := fmt.Sprintf("tenant-%03d", t)
@@ -194,13 +285,18 @@ func runScheduler(o schedOpts) error {
 	}
 	for _, addr := range addrs {
 		addr := addr
-		sched.RegisterProver(addr, &core.DialProverRunner{
+		policy := o.policies[addr]
+		attempt := policy.EffectiveTimeout(o.timeout)
+		sched.RegisterProverPolicy(addr, &core.DialProverRunner{
 			Verifier: o.verifier,
 			Dial: func() (core.ProverConn, error) {
 				return core.DialProver(addr, o.timeout)
 			},
-			AttemptTimeout: o.timeout,
-		})
+			AttemptTimeout: attempt,
+		}, policy)
+		if policy != (core.ProverPolicy{}) {
+			fmt.Printf("  policy override for %s: %+v\n", addr, policy)
+		}
 	}
 
 	// Continuous mode runs indefinitely; fold epochs older than this into
@@ -213,7 +309,7 @@ func runScheduler(o schedOpts) error {
 			sched.Ledger().CompactBefore(uint64(epoch - keepEpochs))
 		}
 		start := time.Now()
-		verdicts := sched.RunEpoch(tasks)
+		verdicts := sched.RunEpoch(context.Background(), tasks)
 		elapsed := time.Since(start)
 		var accepted int
 		for _, v := range verdicts {

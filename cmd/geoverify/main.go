@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/elliptic"
 	"encoding/hex"
@@ -94,7 +95,7 @@ func run() error {
 		return err
 	}
 	start := time.Now()
-	st, err := verifier.RunAudit(req, conn)
+	st, err := verifier.RunAudit(context.Background(), req, conn)
 	if err != nil {
 		return err
 	}
@@ -160,7 +161,7 @@ func runRemote(via, vkeyHex, metaPath string, k int, tmax time.Duration, radius 
 	if err != nil {
 		return err
 	}
-	st, err := remote.RunAudit(req)
+	st, err := remote.RunAudit(context.Background(), req)
 	if err != nil {
 		return err
 	}

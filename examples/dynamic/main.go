@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -80,7 +81,7 @@ func run() error {
 		nonce := make([]byte, 16)
 		rand.New(rand.NewSource(time.Now().UnixNano())).Read(nonce)
 		req := core.AuditRequest{FileID: "ledger.db", NumSegments: int64(store.Len()), K: 12, Nonce: nonce}
-		st, err := verifier.RunAudit(req, conn)
+		st, err := verifier.RunAudit(context.Background(), req, conn)
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -32,12 +33,20 @@ const (
 	epochs     = 2
 )
 
-// hungConn models a prover that accepts the connection and never answers.
+// hungConn models a prover that accepts the connection and never
+// answers. It is ctx-aware the way a real transport is (TCP conns poke
+// their I/O deadline on cancel), so the scheduler's cancellation of a
+// timed-out attempt actually reclaims the goroutine instead of leaking
+// it — the failure mode the pre-context scheduler had.
 type hungConn struct{ never chan struct{} }
 
-func (c *hungConn) GetSegment(string, uint64) ([]byte, error) {
-	<-c.never
-	return nil, nil
+func (c *hungConn) GetSegment(ctx context.Context, _ string, _ uint64) ([]byte, error) {
+	select {
+	case <-c.never:
+		return nil, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 func main() {
@@ -185,7 +194,7 @@ func run() error {
 
 	for epoch := 1; epoch <= epochs; epoch++ {
 		epochStart := time.Now()
-		verdicts := sched.RunEpoch(tasks)
+		verdicts := sched.RunEpoch(context.Background(), tasks)
 		var accepted int
 		for _, v := range verdicts {
 			if v.Outcome == core.OutcomeAccepted {

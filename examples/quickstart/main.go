@@ -6,6 +6,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -83,7 +84,7 @@ func run() error {
 		return err
 	}
 	conn := &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"}
-	st, err := verifier.RunAudit(req, conn)
+	st, err := verifier.RunAudit(context.Background(), req, conn)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -54,7 +55,7 @@ func audit(provider cloud.Provider, owner *por.Encoder, encoded *por.EncodedFile
 	if err != nil {
 		return core.Report{}, err
 	}
-	st, err := verifier.RunAudit(req, &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"})
+	st, err := verifier.RunAudit(context.Background(), req, &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"})
 	if err != nil {
 		return core.Report{}, err
 	}

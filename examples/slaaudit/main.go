@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -128,7 +129,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		st, err := verifier.RunAudit(req, &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"})
+		st, err := verifier.RunAudit(context.Background(), req, &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"})
 		if err != nil {
 			return err
 		}

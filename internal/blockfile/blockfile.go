@@ -166,6 +166,18 @@ func (l Layout) StoredBlockOffset(d int64) int64 {
 	return (d/v)*int64(l.SegmentSize()) + (d%v)*int64(l.BlockSize)
 }
 
+// AlignToSegments rounds n bytes down to a whole number of segments,
+// never below one segment. Persistent stores size their shards with this
+// so a shard boundary can never split a segment: every challenged segment
+// read is then a single contiguous read inside one shard.
+func (l Layout) AlignToSegments(n int64) int64 {
+	seg := int64(l.SegmentSize())
+	if n < seg {
+		return seg
+	}
+	return (n / seg) * seg
+}
+
 // SegmentOffset returns the byte offset of segment i in the encoded file.
 func (l Layout) SegmentOffset(i int64) (int64, error) {
 	if i < 0 || i >= l.Segments {

@@ -80,6 +80,18 @@ func (s *Site) Store(fileID string, layout blockfile.Layout, data []byte) {
 	s.seed++
 }
 
+// StoreOn places an encoded file whose bytes are served by an external
+// backend instead of a copied in-memory slice — the seam that lets a
+// prover serve audits straight from a persistent internal/store.Store
+// (cmd/geoproofd -store) while keeping the site's disk latency model.
+func (s *Site) StoreOn(fileID string, layout blockfile.Layout, backend disk.Backend) {
+	s.files[fileID] = &storedFile{
+		layout: layout,
+		disk:   disk.NewSimDiskOn(s.dc.Disk, backend, s.dc.DiskJitter, s.seed),
+	}
+	s.seed++
+}
+
 // Corrupt damages nBytes starting at off in the stored file, for
 // corruption experiments.
 func (s *Site) Corrupt(fileID string, off, nBytes int) error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
@@ -124,8 +125,13 @@ type SignedTranscript struct {
 // carry the request over the simulated network (advancing virtual time)
 // or over a real TCP connection; the verifier times the call with its own
 // clock either way.
+//
+// GetSegment must honour ctx: return promptly once ctx is cancelled or
+// past its deadline (transports poke an I/O deadline to unblock reads in
+// flight). This is what lets the audit scheduler truly cancel a
+// timed-out attempt instead of abandoning its goroutine.
 type ProverConn interface {
-	GetSegment(fileID string, index uint64) ([]byte, error)
+	GetSegment(ctx context.Context, fileID string, index uint64) ([]byte, error)
 }
 
 // Verifier is the tamper-proof device: a signing key, a GPS receiver and
@@ -157,12 +163,20 @@ func (v *Verifier) Public() *crypt.Signer { return v.signer }
 // the round trip on its own clock, then signs the transcript together
 // with its GPS fix. Failed rounds are recorded rather than aborting the
 // audit — the TPA decides what failures mean.
-func (v *Verifier) RunAudit(req AuditRequest, conn ProverConn) (SignedTranscript, error) {
+//
+// ctx cancellation aborts the audit between (and, for ctx-aware
+// transports, inside) rounds with ctx's error: a cancelled audit yields
+// no transcript, so the caller's verdict is its own timeout/cancel
+// handling, never a half-signed record.
+func (v *Verifier) RunAudit(ctx context.Context, req AuditRequest, conn ProverConn) (SignedTranscript, error) {
 	if err := req.Validate(); err != nil {
 		return SignedTranscript{}, err
 	}
 	if conn == nil {
 		return SignedTranscript{}, fmt.Errorf("%w: nil prover connection", ErrBadRequest)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	indices, err := DeriveIndices(req.Nonce, req.NumSegments, req.K)
 	if err != nil {
@@ -170,9 +184,18 @@ func (v *Verifier) RunAudit(req AuditRequest, conn ProverConn) (SignedTranscript
 	}
 	rounds := make([]AuditRound, 0, len(indices))
 	for _, idx := range indices {
+		if err := ctx.Err(); err != nil {
+			return SignedTranscript{}, fmt.Errorf("core: audit cancelled after %d rounds: %w", len(rounds), err)
+		}
 		start := v.clock.Now()
-		seg, err := conn.GetSegment(req.FileID, idx)
+		seg, err := conn.GetSegment(ctx, req.FileID, idx)
 		rtt := v.clock.Now().Sub(start)
+		if ctx.Err() != nil {
+			// The round lost a race with cancellation: whatever came back
+			// (usually a poked-deadline I/O error) is not evidence about
+			// the prover, so drop the audit rather than record it.
+			return SignedTranscript{}, fmt.Errorf("core: audit cancelled after %d rounds: %w", len(rounds), ctx.Err())
+		}
 		round := AuditRound{Index: idx, RTT: rtt}
 		if err != nil {
 			round.Failed = true

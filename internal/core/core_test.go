@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -108,7 +109,7 @@ func TestHonestAuditAccepted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := fx.verifier.RunAudit(req, fx.conn)
+	st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestRelayAttackRejectedOnTiming(t *testing.T) {
 	fx := newFixture(t, relay)
 
 	req, _ := fx.tpa.NewRequest(testFileID, fx.ef.Layout, 10)
-	st, err := fx.verifier.RunAudit(req, fx.conn)
+	st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestCorruptedStorageRejectedByMACs(t *testing.T) {
 	fx := newFixture(t, &cloud.HonestProvider{Site: site})
 
 	req, _ := fx.tpa.NewRequest(testFileID, fx.ef.Layout, 30)
-	st, err := fx.verifier.RunAudit(req, fx.conn)
+	st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestSpoofedGPSRejectedByPosition(t *testing.T) {
 	tpa, _ := NewTPA(fx.enc, signer.Public(), DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100}))
 
 	req, _ := tpa.NewRequest(testFileID, fx.ef.Layout, 5)
-	st, err := verifier.RunAudit(req, fx.conn)
+	st, err := verifier.RunAudit(context.Background(), req, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestTamperedTranscriptRejectedBySignature(t *testing.T) {
 	fx := newFixture(t, &cloud.HonestProvider{Site: site})
 
 	req, _ := fx.tpa.NewRequest(testFileID, fx.ef.Layout, 5)
-	st, err := fx.verifier.RunAudit(req, fx.conn)
+	st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestReplayedTranscriptRejectedByNonce(t *testing.T) {
 	fx := newFixture(t, &cloud.HonestProvider{Site: site})
 
 	req1, _ := fx.tpa.NewRequest(testFileID, fx.ef.Layout, 5)
-	st1, err := fx.verifier.RunAudit(req1, fx.conn)
+	st1, err := fx.verifier.RunAudit(context.Background(), req1, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestDroppedRoundsWithinBudget(t *testing.T) {
 	tpa, _ := NewTPA(fx.enc, fx.verifier.Public().Public(), policy)
 
 	req, _ := tpa.NewRequest(testFileID, fx.ef.Layout, 60)
-	st, err := fx.verifier.RunAudit(req, fx.conn)
+	st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestDroppedRoundsBeyondBudget(t *testing.T) {
 	fx.net.SetLoss("verifier", "prover", 1.0)
 
 	req, _ := fx.tpa.NewRequest(testFileID, fx.ef.Layout, 5)
-	st, err := fx.verifier.RunAudit(req, fx.conn)
+	st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,11 +417,11 @@ func TestNewTPAValidation(t *testing.T) {
 func TestRunAuditValidation(t *testing.T) {
 	signer, _ := crypt.NewSigner()
 	v, _ := NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, vclock.NewVirtual(time.Time{}))
-	if _, err := v.RunAudit(AuditRequest{}, nil); !errors.Is(err, ErrBadRequest) {
+	if _, err := v.RunAudit(context.Background(), AuditRequest{}, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("empty request: %v", err)
 	}
 	req := AuditRequest{FileID: "f", NumSegments: 10, K: 2, Nonce: []byte("n")}
-	if _, err := v.RunAudit(req, nil); !errors.Is(err, ErrBadRequest) {
+	if _, err := v.RunAudit(context.Background(), req, nil); !errors.Is(err, ErrBadRequest) {
 		t.Fatalf("nil conn: %v", err)
 	}
 }
@@ -464,7 +465,7 @@ func TestDelayNeverShrinksImpliedDistance(t *testing.T) {
 		}
 		fx := newFixture(t, provider)
 		req, _ := fx.tpa.NewRequest(testFileID, fx.ef.Layout, 8)
-		st, err := fx.verifier.RunAudit(req, fx.conn)
+		st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -34,9 +34,19 @@
 // rounds via an AuditRunner, verification, verdict — for many tenants
 // against many provers, with a bounded in-flight window per prover,
 // round-robin (optionally weighted) tenant fairness, per-attempt timeouts
-// and bounded retries. Verdicts aggregate in an AuditLedger keyed by
-// (tenant, prover, epoch). The same scheduler runs over every transport
-// via the AuditRunner implementations: LocalRunner (in-process, simnet or
-// a fixed connection), DialProverRunner (local verifier, TCP prover per
-// audit) and RemoteRunner (remote verifier daemon per audit).
+// and bounded retries; ProverPolicy layers per-prover overrides of those
+// knobs over the fleet defaults. Verdicts aggregate in an AuditLedger
+// keyed by (tenant, prover, epoch). The same scheduler runs over every
+// transport via the AuditRunner implementations: LocalRunner (in-process,
+// simnet or a fixed connection), DialProverRunner (local verifier, TCP
+// prover per audit) and RemoteRunner (remote verifier daemon per audit).
+//
+// # Cancellation
+//
+// A context.Context threads the whole audit path — RunEpoch →
+// AuditRunner.RunAudit → Verifier.RunAudit → ProverConn.GetSegment — so
+// a timed-out attempt is cancelled, not abandoned: the scheduler cancels
+// the attempt's context when it frees the window slot, ctx-aware
+// transports poke their I/O deadline to unblock reads in flight, and the
+// attempt's goroutine unwinds instead of leaking against a hung prover.
 package core

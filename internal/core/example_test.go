@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -68,7 +69,7 @@ func ExampleTPA_VerifyAudit() {
 		fmt.Println(err)
 		return
 	}
-	st, err := verifier.RunAudit(req, &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"})
+	st, err := verifier.RunAudit(context.Background(), req, &core.SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"})
 	if err != nil {
 		fmt.Println(err)
 		return

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -53,7 +54,7 @@ type ReplicationReport struct {
 // geographic diversity of the verifier positions. k is the per-replica
 // round count; minSeparationKm the required pairwise distance (0 skips
 // the diversity check).
-func AuditReplicas(fileID string, layout blockfile.Layout, targets []ReplicaTarget, k int, minSeparationKm float64) (ReplicationReport, error) {
+func AuditReplicas(ctx context.Context, fileID string, layout blockfile.Layout, targets []ReplicaTarget, k int, minSeparationKm float64) (ReplicationReport, error) {
 	if len(targets) == 0 {
 		return ReplicationReport{}, ErrNoReplicas
 	}
@@ -63,7 +64,7 @@ func AuditReplicas(fileID string, layout blockfile.Layout, targets []ReplicaTarg
 		if err != nil {
 			return ReplicationReport{}, fmt.Errorf("replica %s: %w", tgt.Name, err)
 		}
-		st, err := tgt.Verifier.RunAudit(req, tgt.Conn)
+		st, err := tgt.Verifier.RunAudit(ctx, req, tgt.Conn)
 		if err != nil {
 			return ReplicationReport{}, fmt.Errorf("replica %s: %w", tgt.Name, err)
 		}

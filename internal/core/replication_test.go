@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -58,7 +59,7 @@ func TestReplicationAuditDiverseReplicasAccepted(t *testing.T) {
 		replicaDeployment(t, enc, ef, "syd", geo.Sydney, 2),
 		replicaDeployment(t, enc, ef, "per", geo.Perth, 3),
 	}
-	rep, err := AuditReplicas(testFileID, ef.Layout, targets, 10, 500)
+	rep, err := AuditReplicas(context.Background(), testFileID, ef.Layout, targets, 10, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestReplicationAuditCoLocatedReplicasFailDiversity(t *testing.T) {
 		replicaDeployment(t, enc, ef, "bne-1", geo.Brisbane, 4),
 		replicaDeployment(t, enc, ef, "bne-2", geo.Brisbane, 5),
 	}
-	rep, err := AuditReplicas(testFileID, ef.Layout, targets, 5, 500)
+	rep, err := AuditReplicas(context.Background(), testFileID, ef.Layout, targets, 5, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestReplicationAuditBadReplicaRejected(t *testing.T) {
 	tpa, _ := NewTPA(enc, signer.Public(), DefaultPolicy(cloud.SLA{Center: geo.Sydney, RadiusKm: 100}))
 	bad := ReplicaTarget{Name: "syd", Verifier: verifier, Conn: &SimProverConn{Net: net, Verifier: "verifier", Prover: "prover"}, TPA: tpa}
 
-	rep, err := AuditReplicas(testFileID, ef.Layout, []ReplicaTarget{good, bad}, 8, 500)
+	rep, err := AuditReplicas(context.Background(), testFileID, ef.Layout, []ReplicaTarget{good, bad}, 8, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestReplicationAuditBadReplicaRejected(t *testing.T) {
 
 func TestReplicationAuditNoTargets(t *testing.T) {
 	_, ef := encodeTestFile(t)
-	if _, err := AuditReplicas(testFileID, ef.Layout, nil, 5, 0); !errors.Is(err, ErrNoReplicas) {
+	if _, err := AuditReplicas(context.Background(), testFileID, ef.Layout, nil, 5, 0); !errors.Is(err, ErrNoReplicas) {
 		t.Fatalf("got %v", err)
 	}
 }

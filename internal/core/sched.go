@@ -11,6 +11,7 @@ package core
 // device dialing provers over TCP, and fully remote verifier daemons.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -41,8 +42,12 @@ var ErrAuditTimeout = errors.New("core: audit attempt timed out")
 // *RemoteVerifier satisfies the interface directly for a single
 // long-lived daemon connection (audits then serialize on that
 // connection).
+//
+// RunAudit must honour ctx: when the scheduler abandons a timed-out
+// attempt it cancels the context, and a conforming runner returns
+// promptly instead of leaking its goroutine against a hung prover.
 type AuditRunner interface {
-	RunAudit(req AuditRequest) (SignedTranscript, error)
+	RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error)
 }
 
 // LocalRunner drives audits through an in-process verifier device over a
@@ -64,12 +69,17 @@ type LocalRunner struct {
 var _ AuditRunner = (*LocalRunner)(nil)
 
 // RunAudit runs the timed rounds on the local verifier.
-func (r *LocalRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+func (r *LocalRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
 	if r.Lock != nil {
 		r.Lock.Lock()
 		defer r.Lock.Unlock()
+		// An attempt cancelled while queued on the shared transport lock
+		// must not burn transport time once it finally gets the lock.
+		if err := ctx.Err(); err != nil {
+			return SignedTranscript{}, err
+		}
 	}
-	return r.Verifier.RunAudit(req, r.Conn)
+	return r.Verifier.RunAudit(ctx, req, r.Conn)
 }
 
 // DialProverRunner drives audits through an in-process verifier device,
@@ -97,8 +107,11 @@ type deadliner interface {
 	SetDeadline(time.Time) error
 }
 
-// RunAudit dials, runs the rounds, closes.
-func (r *DialProverRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+// RunAudit dials, runs the rounds, closes. ctx cancellation propagates
+// into the rounds (ctx-aware conns such as TCPProverConn poke their I/O
+// deadline), so the belt-and-suspenders AttemptTimeout deadline is only
+// the backstop for transports the context cannot reach.
+func (r *DialProverRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
 	conn, err := r.Dial()
 	if err != nil {
 		return SignedTranscript{}, fmt.Errorf("dial prover: %w", err)
@@ -111,7 +124,7 @@ func (r *DialProverRunner) RunAudit(req AuditRequest) (SignedTranscript, error) 
 			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
 		}
 	}
-	return r.Verifier.RunAudit(req, conn)
+	return r.Verifier.RunAudit(ctx, req, conn)
 }
 
 // RemoteRunner ships each audit to a verifier daemon, dialing per audit so
@@ -129,7 +142,7 @@ var _ AuditRunner = (*RemoteRunner)(nil)
 
 // RunAudit dials the daemon, submits the request and waits for the signed
 // transcript.
-func (r *RemoteRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+func (r *RemoteRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
 	timeout := r.DialTimeout
 	if timeout <= 0 {
 		timeout = 5 * time.Second
@@ -144,7 +157,7 @@ func (r *RemoteRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
 			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
 		}
 	}
-	return rv.RunAudit(req)
+	return rv.RunAudit(ctx, req)
 }
 
 // AuditTask is one scheduled audit: which tenant wants which file checked
@@ -459,14 +472,16 @@ type SchedulerConfig struct {
 	// ProverWindow bounds in-flight audits per prover (≤ 0 = 1). A slot
 	// is held only while the prover is actually being driven — not during
 	// retry backoff or TPA-side verification — so a slow prover throttles
-	// its own queue without idling the rest of the fleet.
+	// its own queue without idling the rest of the fleet. Individual
+	// provers can override this (and Timeout/Retries/RetryBackoff) via
+	// RegisterProverPolicy.
 	ProverWindow int
 	// Timeout is the per-attempt deadline (0 = wait forever). A timed-out
-	// attempt frees the prover slot immediately and its eventual result
-	// is discarded, so the ProverWindow bound counts scheduler-tracked
-	// attempts: an abandoned call may still occupy the transport briefly.
-	// Set the runner's AttemptTimeout alongside this so abandoned TCP
-	// attempts unblock and close their connections instead of leaking.
+	// attempt frees the prover slot immediately, has its context
+	// cancelled — a conforming AuditRunner then unwinds promptly instead
+	// of leaking a goroutine — and any late result is discarded. The
+	// runner-side AttemptTimeout remains useful as an absolute I/O
+	// backstop for transports the context cannot reach.
 	Timeout time.Duration
 	// Retries is how many times a transport failure or timeout is retried
 	// (rejected transcripts are verdicts and are never retried).
@@ -481,10 +496,70 @@ type SchedulerConfig struct {
 	OnVerdict func(Verdict)
 }
 
-// proverState is the per-prover dispatch state.
+// ProverPolicy overrides the fleet-wide scheduler knobs for one prover:
+// a slow WAN site gets a wider deadline and a narrower window than the
+// LAN fleet without loosening anyone else's policy. The zero value
+// inherits every fleet default. For the knobs where zero is itself a
+// meaningful setting, a negative value selects it explicitly:
+//
+//   - Window  > 0 overrides SchedulerConfig.ProverWindow;
+//   - Timeout > 0 overrides Timeout, < 0 means no per-attempt deadline;
+//   - Retries > 0 overrides Retries, < 0 means never retry;
+//   - RetryBackoff > 0 overrides RetryBackoff, < 0 means none.
+type ProverPolicy struct {
+	Window       int
+	Timeout      time.Duration
+	Retries      int
+	RetryBackoff time.Duration
+}
+
+// EffectiveTimeout resolves the per-attempt deadline this policy yields
+// over a fleet default (> 0 overrides, < 0 disables, 0 inherits). It is
+// exported so callers configuring a runner-side I/O backstop (e.g.
+// DialProverRunner.AttemptTimeout) resolve the sentinel exactly as the
+// scheduler will.
+func (p ProverPolicy) EffectiveTimeout(fleet time.Duration) time.Duration {
+	switch {
+	case p.Timeout > 0:
+		return p.Timeout
+	case p.Timeout < 0:
+		return 0
+	}
+	return fleet
+}
+
+// layer resolves the effective per-prover knobs over the fleet defaults.
+func (p ProverPolicy) layer(cfg SchedulerConfig) (window int, timeout time.Duration, retries int, backoff time.Duration) {
+	window = cfg.ProverWindow
+	if p.Window > 0 {
+		window = p.Window
+	}
+	timeout = p.EffectiveTimeout(cfg.Timeout)
+	retries = cfg.Retries
+	switch {
+	case p.Retries > 0:
+		retries = p.Retries
+	case p.Retries < 0:
+		retries = 0
+	}
+	backoff = cfg.RetryBackoff
+	switch {
+	case p.RetryBackoff > 0:
+		backoff = p.RetryBackoff
+	case p.RetryBackoff < 0:
+		backoff = 0
+	}
+	return window, timeout, retries, backoff
+}
+
+// proverState is the per-prover dispatch state: the runner, the in-flight
+// window and the prover's resolved policy knobs.
 type proverState struct {
-	runner AuditRunner
-	window chan struct{}
+	runner  AuditRunner
+	window  chan struct{}
+	timeout time.Duration
+	retries int
+	backoff time.Duration
 }
 
 // Scheduler drives many concurrent audits — request → challenge rounds →
@@ -522,12 +597,25 @@ func (s *Scheduler) RegisterTenant(name string, tpa *TPA) {
 	s.tenants[name] = tpa
 }
 
-// RegisterProver installs the runner that audits a prover, giving it a
-// fresh in-flight window of ProverWindow slots.
+// RegisterProver installs the runner that audits a prover with the
+// fleet-wide policy, giving it a fresh in-flight window of ProverWindow
+// slots.
 func (s *Scheduler) RegisterProver(name string, r AuditRunner) {
+	s.RegisterProverPolicy(name, r, ProverPolicy{})
+}
+
+// RegisterProverPolicy installs a prover whose window/timeout/retry knobs
+// are layered over the fleet defaults (see ProverPolicy). Re-registering
+// a name replaces its runner, policy and window. Like RegisterTenant it
+// must not race RunEpoch.
+func (s *Scheduler) RegisterProverPolicy(name string, r AuditRunner, p ProverPolicy) {
+	window, timeout, retries, backoff := p.layer(s.cfg)
 	s.provers[name] = &proverState{
-		runner: r,
-		window: make(chan struct{}, s.cfg.ProverWindow),
+		runner:  r,
+		window:  make(chan struct{}, window),
+		timeout: timeout,
+		retries: retries,
+		backoff: backoff,
 	}
 }
 
@@ -540,7 +628,14 @@ func (s *Scheduler) Ledger() *AuditLedger { return s.ledger }
 // are staged at once no matter how long the list is), and each task
 // respects its prover's in-flight window. Verdicts are returned in
 // dispatch (fair) order and are also folded into the ledger.
-func (s *Scheduler) RunEpoch(tasks []AuditTask) []Verdict {
+//
+// ctx is the epoch's parent context: cancelling it makes every remaining
+// attempt fail fast (recorded as error verdicts), draining the epoch
+// promptly without stranding goroutines.
+func (s *Scheduler) RunEpoch(ctx context.Context, tasks []AuditTask) []Verdict {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	epoch := s.epoch.Add(1)
 	order := FairOrder(tasks, s.cfg.Weights)
 	verdicts := make([]Verdict, len(order))
@@ -559,7 +654,7 @@ func (s *Scheduler) RunEpoch(tasks []AuditTask) []Verdict {
 		}
 		return nil
 	}, func(j job) error {
-		v := s.runOne(epoch, j.task)
+		v := s.runOne(ctx, epoch, j.task)
 		verdicts[j.i] = v
 		s.ledger.Record(v)
 		if s.cfg.OnVerdict != nil {
@@ -571,8 +666,9 @@ func (s *Scheduler) RunEpoch(tasks []AuditTask) []Verdict {
 }
 
 // runOne executes one task to a verdict: fresh nonce, windowed attempt
-// with timeout, bounded retries, then TPA verification.
-func (s *Scheduler) runOne(epoch uint64, task AuditTask) Verdict {
+// with the prover's effective timeout, its bounded retries, then TPA
+// verification.
+func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Verdict {
 	start := time.Now()
 	v := Verdict{Task: task, Epoch: epoch}
 	finish := func() Verdict {
@@ -591,6 +687,11 @@ func (s *Scheduler) runOne(epoch uint64, task AuditTask) Verdict {
 	}
 	for attempt := 0; ; attempt++ {
 		v.Attempts = attempt + 1
+		// A cancelled epoch drains without driving the prover again.
+		if err := ctx.Err(); err != nil {
+			v.Outcome, v.Err = OutcomeError, err.Error()
+			return finish()
+		}
 		// Fresh nonce per attempt: a transcript from a timed-out earlier
 		// attempt can never be replayed against a later one.
 		req, err := tpa.NewRequest(task.FileID, task.Layout, task.K)
@@ -598,7 +699,7 @@ func (s *Scheduler) runOne(epoch uint64, task AuditTask) Verdict {
 			v.Outcome, v.Err = OutcomeError, err.Error()
 			return finish()
 		}
-		st, err := s.windowedAttempt(prover, req)
+		st, err := s.windowedAttempt(ctx, prover, req)
 		if err == nil {
 			v.Report = tpa.VerifyAudit(req, task.Layout, st)
 			if v.Report.Accepted {
@@ -609,29 +710,41 @@ func (s *Scheduler) runOne(epoch uint64, task AuditTask) Verdict {
 			return finish()
 		}
 		v.Err = err.Error()
-		if attempt >= s.cfg.Retries {
-			if errors.Is(err, ErrAuditTimeout) {
+		if attempt >= prover.retries || ctx.Err() != nil {
+			// A deadline error is only the *prover's* timeout when the
+			// epoch itself is still live — an expired epoch ctx must not
+			// blame healthy provers in the ledger.
+			if ctx.Err() == nil && (errors.Is(err, ErrAuditTimeout) || errors.Is(err, context.DeadlineExceeded)) {
 				v.Outcome = OutcomeTimeout
 			} else {
 				v.Outcome = OutcomeError
 			}
 			return finish()
 		}
-		if s.cfg.RetryBackoff > 0 {
-			time.Sleep(s.cfg.RetryBackoff)
+		if prover.backoff > 0 {
+			// Backoff outside the prover window, but never outlive the
+			// epoch: a cancelled ctx drains immediately (the next loop
+			// iteration fails fast and records the verdict).
+			timer := time.NewTimer(prover.backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+			}
 		}
 	}
 }
 
 // windowedAttempt holds one of the prover's in-flight slots for the
-// duration of a single attempt. On timeout the slot is released and the
-// abandoned call's late result is dropped (the result channel is buffered
-// so the goroutine never leaks on send).
-func (s *Scheduler) windowedAttempt(p *proverState, req AuditRequest) (SignedTranscript, error) {
+// duration of a single attempt. On timeout the slot is released, the
+// attempt's context is cancelled — so a conforming runner unwinds instead
+// of leaking a goroutine against a hung prover — and any late result is
+// dropped (the result channel is buffered so the send never blocks).
+func (s *Scheduler) windowedAttempt(ctx context.Context, p *proverState, req AuditRequest) (SignedTranscript, error) {
 	p.window <- struct{}{}
-	if s.cfg.Timeout <= 0 {
+	if p.timeout <= 0 {
 		defer func() { <-p.window }()
-		return p.runner.RunAudit(req)
+		return p.runner.RunAudit(ctx, req)
 	}
 	type result struct {
 		st  SignedTranscript
@@ -646,19 +759,22 @@ func (s *Scheduler) windowedAttempt(p *proverState, req AuditRequest) (SignedTra
 			<-p.window
 		}
 	}
+	attemptCtx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
 	done := make(chan result, 1)
 	go func() {
-		st, err := p.runner.RunAudit(req)
+		st, err := p.runner.RunAudit(attemptCtx, req)
 		release()
 		done <- result{st: st, err: err}
 	}()
-	timer := time.NewTimer(s.cfg.Timeout)
-	defer timer.Stop()
 	select {
 	case r := <-done:
 		return r.st, r.err
-	case <-timer.C:
+	case <-attemptCtx.Done():
 		release()
+		if err := ctx.Err(); err != nil {
+			return SignedTranscript{}, err // epoch aborted, not a prover timeout
+		}
 		return SignedTranscript{}, ErrAuditTimeout
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -22,14 +23,14 @@ import (
 // without a network model.
 type memConn struct{ store *por.Store }
 
-func (c *memConn) GetSegment(fileID string, index uint64) ([]byte, error) {
+func (c *memConn) GetSegment(_ context.Context, fileID string, index uint64) ([]byte, error) {
 	return c.store.ReadSegment(int64(index))
 }
 
 // corruptConn flips a payload byte in every returned segment.
 type corruptConn struct{ store *por.Store }
 
-func (c *corruptConn) GetSegment(fileID string, index uint64) ([]byte, error) {
+func (c *corruptConn) GetSegment(_ context.Context, fileID string, index uint64) ([]byte, error) {
 	seg, err := c.store.ReadSegment(int64(index))
 	if err != nil {
 		return nil, err
@@ -47,7 +48,7 @@ type countingRunner struct {
 	max   atomic.Int64
 }
 
-func (r *countingRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+func (r *countingRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
 	n := r.cur.Add(1)
 	defer r.cur.Add(-1)
 	for {
@@ -59,15 +60,28 @@ func (r *countingRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
 	if r.delay > 0 {
 		time.Sleep(r.delay)
 	}
-	return r.inner.RunAudit(req)
+	return r.inner.RunAudit(ctx, req)
 }
 
-// hungRunner never answers until released.
-type hungRunner struct{ release chan struct{} }
+// hungRunner never answers until released or cancelled. It counts the
+// goroutines currently parked inside it, so tests can assert that the
+// scheduler's cancellation of abandoned attempts actually reclaims them
+// (the pre-context scheduler leaked one goroutine per timed-out attempt
+// here).
+type hungRunner struct {
+	release chan struct{}
+	active  atomic.Int64
+}
 
-func (r *hungRunner) RunAudit(AuditRequest) (SignedTranscript, error) {
-	<-r.release
-	return SignedTranscript{}, errors.New("released")
+func (r *hungRunner) RunAudit(ctx context.Context, _ AuditRequest) (SignedTranscript, error) {
+	r.active.Add(1)
+	defer r.active.Add(-1)
+	select {
+	case <-r.release:
+		return SignedTranscript{}, errors.New("released")
+	case <-ctx.Done():
+		return SignedTranscript{}, ctx.Err()
+	}
 }
 
 // flakyRunner fails its first failures calls with a transport error, then
@@ -78,11 +92,11 @@ type flakyRunner struct {
 	calls    atomic.Int32
 }
 
-func (r *flakyRunner) RunAudit(req AuditRequest) (SignedTranscript, error) {
+func (r *flakyRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
 	if r.calls.Add(1) <= r.failures {
 		return SignedTranscript{}, errors.New("connection reset by prover")
 	}
-	return r.inner.RunAudit(req)
+	return r.inner.RunAudit(ctx, req)
 }
 
 // schedFixture is a scheduler-ready deployment: one encoded file, a local
@@ -148,7 +162,7 @@ func TestSchedulerInFlightBoundNeverExceeded(t *testing.T) {
 		}
 	}
 
-	verdicts := sched.RunEpoch(tasks)
+	verdicts := sched.RunEpoch(context.Background(), tasks)
 	if len(verdicts) != tenants*provers {
 		t.Fatalf("got %d verdicts, want %d", len(verdicts), tenants*provers)
 	}
@@ -206,7 +220,7 @@ func TestSchedulerTimeoutReleasesWindow(t *testing.T) {
 
 	done := make(chan []Verdict, 1)
 	go func() {
-		done <- sched.RunEpoch([]AuditTask{f.task("t1", "dead", 2), f.task("t1", "dead", 2)})
+		done <- sched.RunEpoch(context.Background(), []AuditTask{f.task("t1", "dead", 2), f.task("t1", "dead", 2)})
 	}()
 	var verdicts []Verdict
 	select {
@@ -247,7 +261,7 @@ func TestSchedulerCorruptProverRejectedNotRetried(t *testing.T) {
 		Conn:     &corruptConn{store: f.store},
 	})
 
-	verdicts := sched.RunEpoch([]AuditTask{
+	verdicts := sched.RunEpoch(context.Background(), []AuditTask{
 		f.task("t1", "corrupt", 3),
 		f.task("t1", "corrupt", 3),
 	})
@@ -284,7 +298,7 @@ func TestSchedulerRetryThenAccept(t *testing.T) {
 		failures: 1,
 	})
 
-	verdicts := sched.RunEpoch([]AuditTask{f.task("t1", "flaky", 2)})
+	verdicts := sched.RunEpoch(context.Background(), []AuditTask{f.task("t1", "flaky", 2)})
 	if v := verdicts[0]; v.Outcome != OutcomeAccepted || v.Attempts != 2 {
 		t.Fatalf("verdict = %+v, want accepted on attempt 2", v)
 	}
@@ -297,7 +311,7 @@ func TestSchedulerUnregisteredNames(t *testing.T) {
 	sched := NewScheduler(SchedulerConfig{Workers: 1})
 	sched.RegisterTenant("t1", f.tpa)
 
-	verdicts := sched.RunEpoch([]AuditTask{
+	verdicts := sched.RunEpoch(context.Background(), []AuditTask{
 		f.task("ghost", "prover", 2),
 		f.task("t1", "ghost", 2),
 	})
@@ -317,7 +331,7 @@ func TestSchedulerEpochsAccumulate(t *testing.T) {
 	sched.RegisterProver("p1", &LocalRunner{Verifier: f.verifier, Conn: &memConn{store: f.store}})
 
 	for epoch := 1; epoch <= 3; epoch++ {
-		verdicts := sched.RunEpoch([]AuditTask{f.task("t1", "p1", 2)})
+		verdicts := sched.RunEpoch(context.Background(), []AuditTask{f.task("t1", "p1", 2)})
 		if got := verdicts[0].Epoch; got != uint64(epoch) {
 			t.Fatalf("epoch = %d, want %d", got, epoch)
 		}
@@ -339,7 +353,7 @@ func TestAuditLedgerCompactBefore(t *testing.T) {
 	sched.RegisterTenant("t1", f.tpa)
 	sched.RegisterProver("p1", &LocalRunner{Verifier: f.verifier, Conn: &memConn{store: f.store}})
 	for epoch := 0; epoch < 4; epoch++ {
-		sched.RunEpoch([]AuditTask{f.task("t1", "p1", 2)})
+		sched.RunEpoch(context.Background(), []AuditTask{f.task("t1", "p1", 2)})
 	}
 
 	sched.Ledger().CompactBefore(4)
@@ -385,7 +399,7 @@ func TestSchedulerOnVerdictHook(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = f.task("t1", "p1", 2)
 	}
-	sched.RunEpoch(tasks)
+	sched.RunEpoch(context.Background(), tasks)
 	if seen != len(tasks) {
 		t.Fatalf("OnVerdict fired %d times, want %d", seen, len(tasks))
 	}
@@ -468,7 +482,7 @@ func TestDialProverRunnerAttemptDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	st, err := runner.RunAudit(req)
+	st, err := runner.RunAudit(context.Background(), req)
 	if err != nil {
 		t.Fatalf("RunAudit returned a transport error %v; hung rounds should be recorded as failed", err)
 	}
@@ -500,7 +514,7 @@ func TestSchedulerOverTCP(t *testing.T) {
 		},
 	})
 
-	verdicts := sched.RunEpoch([]AuditTask{
+	verdicts := sched.RunEpoch(context.Background(), []AuditTask{
 		f.task("t1", "tcp", 3), f.task("t2", "tcp", 3),
 		f.task("t1", "tcp", 3), f.task("t2", "tcp", 3),
 	})
@@ -512,5 +526,212 @@ func TestSchedulerOverTCP(t *testing.T) {
 	byTenant := sched.Ledger().TotalsByTenant()
 	if len(byTenant) != 2 || byTenant[0].Accepted != 2 || byTenant[1].Accepted != 2 {
 		t.Fatalf("TotalsByTenant = %+v", byTenant)
+	}
+}
+
+// TestSchedulerCancelsAbandonedAttempts: every timed-out attempt's
+// context is cancelled, so a ctx-aware runner unwinds instead of parking
+// a goroutine per abandoned attempt until process exit (the ROADMAP leak
+// this PR closes). The release channel is never closed: only
+// cancellation can reclaim the attempts.
+func TestSchedulerCancelsAbandonedAttempts(t *testing.T) {
+	f := newSchedFixture(t)
+	hung := &hungRunner{release: make(chan struct{})}
+	sched := NewScheduler(SchedulerConfig{
+		Workers:      4,
+		ProverWindow: 2,
+		Timeout:      20 * time.Millisecond,
+		Retries:      1,
+	})
+	sched.RegisterTenant("t1", f.tpa)
+	sched.RegisterProver("dead", hung)
+
+	tasks := make([]AuditTask, 6)
+	for i := range tasks {
+		tasks[i] = f.task("t1", "dead", 2)
+	}
+	verdicts := sched.RunEpoch(context.Background(), tasks)
+	for i, v := range verdicts {
+		if v.Outcome != OutcomeTimeout {
+			t.Fatalf("verdict %d: outcome %v, want timeout", i, v.Outcome)
+		}
+	}
+	// 6 tasks x 2 attempts all hung; cancellation must drain every one.
+	deadline := time.Now().Add(2 * time.Second)
+	for hung.active.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d abandoned attempts still parked in the runner; cancellation is not reclaiming them", hung.active.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSchedulerEpochContextCancel: cancelling the epoch's parent context
+// drains the remaining tasks promptly as error verdicts (not timeouts),
+// without waiting out each per-attempt deadline.
+func TestSchedulerEpochContextCancel(t *testing.T) {
+	f := newSchedFixture(t)
+	hung := &hungRunner{release: make(chan struct{})}
+	sched := NewScheduler(SchedulerConfig{
+		Workers:      2,
+		ProverWindow: 1,
+		Timeout:      time.Hour, // per-attempt deadline alone would stall the test
+	})
+	sched.RegisterTenant("t1", f.tpa)
+	sched.RegisterProver("dead", hung)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan []Verdict, 1)
+	go func() { done <- sched.RunEpoch(ctx, []AuditTask{f.task("t1", "dead", 2), f.task("t1", "dead", 2)}) }()
+	select {
+	case verdicts := <-done:
+		for i, v := range verdicts {
+			if v.Outcome != OutcomeError {
+				t.Fatalf("verdict %d after epoch cancel: outcome %v (%s), want error", i, v.Outcome, v.Err)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled epoch did not drain")
+	}
+}
+
+// TestSchedulerProverPolicyOverrides: per-prover knobs layer over the
+// fleet defaults — a slow prover with a widened per-prover timeout is
+// accepted while an identical prover on the fleet deadline times out,
+// and a policy can turn retries off for one prover only.
+func TestSchedulerProverPolicyOverrides(t *testing.T) {
+	f := newSchedFixture(t)
+	slow := func() AuditRunner {
+		return &countingRunner{
+			inner: &LocalRunner{Verifier: f.verifier, Conn: &memConn{store: f.store}},
+			delay: 60 * time.Millisecond,
+		}
+	}
+	sched := NewScheduler(SchedulerConfig{
+		Workers:      4,
+		ProverWindow: 2,
+		Timeout:      20 * time.Millisecond,
+		Retries:      0,
+	})
+	sched.RegisterTenant("t1", f.tpa)
+	sched.RegisterProver("slow-default", slow())
+	sched.RegisterProverPolicy("slow-wide", slow(), ProverPolicy{Timeout: 5 * time.Second})
+	sched.RegisterProverPolicy("slow-nodeadline", slow(), ProverPolicy{Timeout: -1})
+
+	verdicts := sched.RunEpoch(context.Background(), []AuditTask{
+		f.task("t1", "slow-default", 2),
+		f.task("t1", "slow-wide", 2),
+		f.task("t1", "slow-nodeadline", 2),
+	})
+	byProver := map[string]Verdict{}
+	for _, v := range verdicts {
+		byProver[v.Task.Prover] = v
+	}
+	if v := byProver["slow-default"]; v.Outcome != OutcomeTimeout {
+		t.Fatalf("slow-default: outcome %v (%s), want timeout under the fleet deadline", v.Outcome, v.Err)
+	}
+	if v := byProver["slow-wide"]; v.Outcome != OutcomeAccepted {
+		t.Fatalf("slow-wide: outcome %v (%s), want accepted under its widened deadline", v.Outcome, v.Err)
+	}
+	if v := byProver["slow-nodeadline"]; v.Outcome != OutcomeAccepted {
+		t.Fatalf("slow-nodeadline: outcome %v (%s), want accepted with no deadline", v.Outcome, v.Err)
+	}
+
+	// Retries: fleet default retries twice; a per-prover policy of -1
+	// must fail a flaky prover on the first transport error.
+	sched2 := NewScheduler(SchedulerConfig{Workers: 1, Retries: 2})
+	sched2.RegisterTenant("t1", f.tpa)
+	sched2.RegisterProverPolicy("flaky-noretry", &flakyRunner{
+		inner:    &LocalRunner{Verifier: f.verifier, Conn: &memConn{store: f.store}},
+		failures: 1,
+	}, ProverPolicy{Retries: -1})
+	sched2.RegisterProver("flaky-default", &flakyRunner{
+		inner:    &LocalRunner{Verifier: f.verifier, Conn: &memConn{store: f.store}},
+		failures: 1,
+	})
+	verdicts = sched2.RunEpoch(context.Background(), []AuditTask{
+		f.task("t1", "flaky-noretry", 2),
+		f.task("t1", "flaky-default", 2),
+	})
+	byProver = map[string]Verdict{}
+	for _, v := range verdicts {
+		byProver[v.Task.Prover] = v
+	}
+	if v := byProver["flaky-noretry"]; v.Outcome != OutcomeError || v.Attempts != 1 {
+		t.Fatalf("flaky-noretry: %+v, want 1 attempt ending in error", v)
+	}
+	if v := byProver["flaky-default"]; v.Outcome != OutcomeAccepted || v.Attempts != 2 {
+		t.Fatalf("flaky-default: %+v, want acceptance on attempt 2", v)
+	}
+
+	// Window: a per-prover window of 1 beats the fleet default of 4.
+	counting := &countingRunner{
+		inner: &LocalRunner{Verifier: f.verifier, Conn: &memConn{store: f.store}},
+		delay: 2 * time.Millisecond,
+	}
+	sched3 := NewScheduler(SchedulerConfig{Workers: 8, ProverWindow: 4})
+	sched3.RegisterTenant("t1", f.tpa)
+	sched3.RegisterProverPolicy("narrow", counting, ProverPolicy{Window: 1})
+	tasks := make([]AuditTask, 8)
+	for i := range tasks {
+		tasks[i] = f.task("t1", "narrow", 2)
+	}
+	sched3.RunEpoch(context.Background(), tasks)
+	if m := counting.max.Load(); m > 1 {
+		t.Fatalf("narrow prover saw %d concurrent audits, policy window is 1", m)
+	}
+}
+
+// TestVerifierRunAuditCancelled: cancelling mid-audit aborts without a
+// transcript and surfaces the context error.
+func TestVerifierRunAuditCancelled(t *testing.T) {
+	f := newSchedFixture(t)
+	req, err := f.tpa.NewRequest(f.ef.FileID, f.ef.Layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.verifier.RunAudit(ctx, req, &memConn{store: f.store}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunAudit on a cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSchedulerEpochDeadlineNotBlamedOnProver: when the *epoch's* context
+// deadline expires, drained tasks must land as error verdicts — a prover
+// must only be charged an OutcomeTimeout for its own per-attempt
+// deadline, never for the epoch's.
+func TestSchedulerEpochDeadlineNotBlamedOnProver(t *testing.T) {
+	f := newSchedFixture(t)
+	hung := &hungRunner{release: make(chan struct{})}
+	sched := NewScheduler(SchedulerConfig{
+		Workers:      2,
+		ProverWindow: 1,
+		Timeout:      time.Hour, // the prover's own deadline never fires
+	})
+	sched.RegisterTenant("t1", f.tpa)
+	sched.RegisterProver("dead", hung)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan []Verdict, 1)
+	go func() { done <- sched.RunEpoch(ctx, []AuditTask{f.task("t1", "dead", 2), f.task("t1", "dead", 2)}) }()
+	select {
+	case verdicts := <-done:
+		for i, v := range verdicts {
+			if v.Outcome != OutcomeError {
+				t.Fatalf("verdict %d after epoch deadline: outcome %v (%s), want error", i, v.Outcome, v.Err)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("epoch with an expired deadline did not drain")
+	}
+	entry, ok := sched.Ledger().Entry("t1", "dead", 1)
+	if !ok || entry.Timeouts != 0 || entry.Errors != 2 {
+		t.Fatalf("ledger entry = %+v, ok=%v; epoch deadline must not count as prover timeouts", entry, ok)
 	}
 }

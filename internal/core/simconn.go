@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -33,8 +34,14 @@ type SimProverConn struct {
 
 var _ ProverConn = (*SimProverConn)(nil)
 
-// GetSegment performs one timed round over the simulated network.
-func (c *SimProverConn) GetSegment(fileID string, index uint64) ([]byte, error) {
+// GetSegment performs one timed round over the simulated network. The
+// simulator is synchronous compute on a virtual clock, so cancellation is
+// honoured at round granularity: a cancelled ctx fails the round before
+// any virtual time is spent.
+func (c *SimProverConn) GetSegment(ctx context.Context, fileID string, index uint64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	resp, _, err := c.Net.RoundTrip(c.Verifier, c.Prover, segmentReq{fileID: fileID, index: index})
 	if err != nil {
 		return nil, fmt.Errorf("simnet round trip: %w", err)

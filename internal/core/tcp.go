@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cloud"
@@ -128,6 +130,9 @@ type TCPProverConn struct {
 	// Delay injects artificial symmetric one-way delay per direction,
 	// for failure-injection and relay experiments on loopback.
 	Delay time.Duration
+	// desynced latches when a cancelled context abandoned an exchange
+	// mid-flight; every later call fails with ErrConnDesynced.
+	desynced atomic.Bool
 }
 
 var _ ProverConn = (*TCPProverConn)(nil)
@@ -171,8 +176,54 @@ func (c *TCPProverConn) Ping() (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-// GetSegment performs one request/response exchange.
-func (c *TCPProverConn) GetSegment(fileID string, index uint64) ([]byte, error) {
+// ErrConnDesynced reports that a request/response connection was
+// abandoned mid-exchange by a cancelled context: the peer's response may
+// still be in flight, so any further exchange could read a stale frame.
+// The connection must be reconnected, never reused.
+var ErrConnDesynced = errors.New("core: connection desynced by a cancelled exchange; reconnect")
+
+// pokeOnCancel arms ctx to interrupt conn's blocking I/O by expiring its
+// deadline, and returns the disarm function. Disarm reports whether the
+// poke fired (waiting out an in-flight callback first, so the report is
+// never racy): a fired poke means the exchange was abandoned with the
+// response possibly still in flight, and the caller must mark the
+// connection desynced — handing back stale frames to the next exchange
+// would silently blame a healthy prover.
+func pokeOnCancel(ctx context.Context, conn deadliner) (disarm func() (fired bool)) {
+	if ctx.Done() == nil {
+		return func() bool { return false }
+	}
+	done := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Now())
+		close(done)
+	})
+	return func() bool {
+		if stop() {
+			return false // callback never ran and never will
+		}
+		<-done
+		return true
+	}
+}
+
+// GetSegment performs one request/response exchange. Cancelling ctx
+// unblocks an in-flight read by poking the connection deadline, so a
+// scheduler-abandoned attempt releases its goroutine and connection
+// promptly even against a hung prover.
+func (c *TCPProverConn) GetSegment(ctx context.Context, fileID string, index uint64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.desynced.Load() {
+		return nil, ErrConnDesynced
+	}
+	disarm := pokeOnCancel(ctx, c.conn)
+	defer func() {
+		if disarm() {
+			c.desynced.Store(true)
+		}
+	}()
 	if c.Delay > 0 {
 		time.Sleep(c.Delay)
 	}

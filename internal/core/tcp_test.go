@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -79,7 +80,7 @@ func TestTCPEndToEndAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := verifier.RunAudit(req, conn)
+	st, err := verifier.RunAudit(context.Background(), req, conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestTCPInjectedDelayTripsTiming(t *testing.T) {
 	tpa, _ := NewTPA(enc, signer.Public(), policy)
 
 	req, _ := tpa.NewRequest(ef.FileID, ef.Layout, 4)
-	st, err := verifier.RunAudit(req, conn)
+	st, err := verifier.RunAudit(context.Background(), req, conn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestTCPUnknownFileReturnsRemoteError(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.GetSegment("ghost-file", 0); !errors.Is(err, wire.ErrRemote) {
+	if _, err := conn.GetSegment(context.Background(), "ghost-file", 0); !errors.Is(err, wire.ErrRemote) {
 		t.Fatalf("got %v, want ErrRemote", err)
 	}
 	// The connection must remain usable after a remote error.
-	if _, err := conn.GetSegment("tcp-file", 0); err != nil {
+	if _, err := conn.GetSegment(context.Background(), "tcp-file", 0); err != nil {
 		t.Fatalf("connection dead after error: %v", err)
 	}
 }
@@ -201,7 +202,7 @@ func TestTCPSimulatedServiceTime(t *testing.T) {
 	}
 	defer conn.Close()
 	start := time.Now()
-	if _, err := conn.GetSegment(ef.FileID, 0); err != nil {
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 0); err != nil {
 		t.Fatal(err)
 	}
 	// WD2500JD look-up is ≈13.1 ms; the served request must take at
@@ -246,7 +247,7 @@ func TestProverServerConcurrencyCapAndNegative(t *testing.T) {
 					return
 				}
 				defer conn.Close()
-				_, err = conn.GetSegment(ef.FileID, 0)
+				_, err = conn.GetSegment(context.Background(), ef.FileID, 0)
 				errc <- err
 			}()
 		}

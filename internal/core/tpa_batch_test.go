@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cloud"
@@ -21,7 +22,7 @@ func TestVerifyAuditsBatch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := fx.verifier.RunAudit(req, fx.conn)
+		st, err := fx.verifier.RunAudit(context.Background(), req, fx.conn)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -107,12 +109,17 @@ func (s *VerifierServer) runOne(req AuditRequest) (SignedTranscript, error) {
 	if closer, ok := pc.(interface{ Close() error }); ok {
 		defer closer.Close()
 	}
-	return s.Verifier.RunAudit(req, pc)
+	// The daemon's own deadline discipline is the TPA connection's; the
+	// audit itself runs uncancelled here.
+	return s.Verifier.RunAudit(context.Background(), req, pc)
 }
 
 // RemoteVerifier is the TPA-side client of a VerifierServer.
 type RemoteVerifier struct {
 	conn net.Conn
+	// desynced latches when a cancelled context abandoned an audit
+	// mid-exchange; see ErrConnDesynced.
+	desynced atomic.Bool
 }
 
 // DialVerifier connects to a verifier daemon.
@@ -132,7 +139,24 @@ func (r *RemoteVerifier) Close() error { return r.conn.Close() }
 func (r *RemoteVerifier) SetDeadline(t time.Time) error { return r.conn.SetDeadline(t) }
 
 // RunAudit submits the request and waits for the signed transcript.
-func (r *RemoteVerifier) RunAudit(req AuditRequest) (SignedTranscript, error) {
+// Cancelling ctx pokes the connection deadline so a daemon that stops
+// responding cannot strand the caller.
+func (r *RemoteVerifier) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return SignedTranscript{}, err
+	}
+	if r.desynced.Load() {
+		return SignedTranscript{}, ErrConnDesynced
+	}
+	disarm := pokeOnCancel(ctx, r.conn)
+	defer func() {
+		if disarm() {
+			r.desynced.Store(true)
+		}
+	}()
 	if err := wire.WriteFrame(r.conn, wire.TypeAuditRequest, EncodeAuditRequest(req)); err != nil {
 		return SignedTranscript{}, fmt.Errorf("send request: %w", err)
 	}

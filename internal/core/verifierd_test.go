@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -161,7 +162,7 @@ func TestThreePartyDistributedAudit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := remote.RunAudit(req)
+	st, err := remote.RunAudit(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestThreePartyDistributedAudit(t *testing.T) {
 
 	// A second audit over the same TPA connection.
 	req2, _ := tpa.NewRequest(ef.FileID, ef.Layout, 4)
-	st2, err := remote.RunAudit(req2)
+	st2, err := remote.RunAudit(context.Background(), req2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ package disk
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"time"
@@ -88,16 +89,64 @@ func (m Model) String() string {
 	return fmt.Sprintf("%s (%d RPM)", m.Name, m.RPM)
 }
 
-// SimDisk is a simulated storage device: a byte store whose reads cost
+// Backend is the byte store behind a simulated disk: the latency model
+// stays SimDisk's job while the bytes may live in memory (the historical
+// behaviour) or in a persistent store (internal/store.Store serves a
+// prover daemon through exactly this seam). Implementations must be safe
+// for concurrent ReadAt calls; a backend that additionally implements
+// io.WriterAt supports Corrupt.
+type Backend interface {
+	io.ReaderAt
+	// Size returns the stored byte count.
+	Size() int64
+}
+
+// memBackend is the in-memory Backend wrapping a private byte slice.
+type memBackend struct {
+	mu sync.RWMutex
+	b  []byte
+}
+
+func (m *memBackend) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off < 0 || off > int64(len(m.b)) {
+		return 0, fmt.Errorf("disk: read offset %d outside store of %d bytes", off, len(m.b))
+	}
+	n := copy(p, m.b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memBackend) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.b)) {
+		return 0, fmt.Errorf("disk: write [%d, %d) outside store of %d bytes", off, off+int64(len(p)), len(m.b))
+	}
+	return copy(m.b[off:], p), nil
+}
+
+func (m *memBackend) Size() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.b))
+}
+
+// SimDisk is a simulated storage device: a Backend whose reads cost
 // LookupLatency plus optional uniform jitter and a simple queueing penalty
 // proportional to outstanding load. It substitutes for the physical drives
 // in the paper's data-centre scenarios. All methods are safe for
-// concurrent use: one disk may serve many prover connections at once.
+// concurrent use: one disk may serve many prover connections at once, and
+// only the latency bookkeeping serialises — data reads run concurrently
+// against the backend (pread-per-shard for a store-backed disk).
 type SimDisk struct {
-	model Model
+	model   Model
+	backend Backend
 
 	mu      sync.Mutex
-	data    []byte
 	jitter  time.Duration
 	queue   time.Duration // extra delay per read under load
 	pending int
@@ -109,11 +158,19 @@ type SimDisk struct {
 func NewSimDisk(model Model, data []byte, jitter time.Duration, seed int64) *SimDisk {
 	buf := make([]byte, len(data))
 	copy(buf, data)
+	return NewSimDiskOn(model, &memBackend{b: buf}, jitter, seed)
+}
+
+// NewSimDiskOn creates a simulated disk whose bytes are served by an
+// arbitrary backend — the seam that lets a cloud.Site (and therefore a
+// prover daemon) serve audits from a persistent on-disk store while
+// keeping the paper's parametric latency model.
+func NewSimDiskOn(model Model, backend Backend, jitter time.Duration, seed int64) *SimDisk {
 	return &SimDisk{
-		model:  model,
-		data:   buf,
-		jitter: jitter,
-		rng:    rand.New(rand.NewSource(seed)),
+		model:   model,
+		backend: backend,
+		jitter:  jitter,
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 }
 
@@ -121,11 +178,7 @@ func NewSimDisk(model Model, data []byte, jitter time.Duration, seed int64) *Sim
 func (d *SimDisk) Model() Model { return d.model }
 
 // Size returns the stored byte count.
-func (d *SimDisk) Size() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.data)
-}
+func (d *SimDisk) Size() int { return int(d.backend.Size()) }
 
 // SetQueuePenalty sets the additional latency charged per outstanding
 // request; used by the load-sensitivity ablation.
@@ -146,32 +199,48 @@ func (d *SimDisk) AddPending(n int) {
 }
 
 // ReadAt returns length bytes from offset together with the simulated
-// look-up latency for the access.
+// look-up latency for the access. Latency bookkeeping takes the disk's
+// lock; the data read itself runs concurrently against the backend.
 func (d *SimDisk) ReadAt(offset, length int) ([]byte, time.Duration, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if offset < 0 || length < 0 || offset+length > len(d.data) {
-		return nil, 0, fmt.Errorf("disk: read [%d, %d) outside store of %d bytes", offset, offset+length, len(d.data))
+	size := d.backend.Size()
+	if offset < 0 || length < 0 || int64(offset)+int64(length) > size {
+		return nil, 0, fmt.Errorf("disk: read [%d, %d) outside store of %d bytes", offset, offset+length, size)
 	}
+	d.mu.Lock()
 	lat := d.model.LookupLatency(length)
 	if d.jitter > 0 {
 		lat += time.Duration(d.rng.Int63n(int64(d.jitter)))
 	}
 	lat += time.Duration(d.pending) * d.queue
+	d.mu.Unlock()
 	out := make([]byte, length)
-	copy(out, d.data[offset:offset+length])
+	if length > 0 {
+		if _, err := d.backend.ReadAt(out, int64(offset)); err != nil && err != io.EOF {
+			return nil, 0, fmt.Errorf("disk: backend read: %w", err)
+		}
+	}
 	return out, lat, nil
 }
 
 // Corrupt overwrites length bytes at offset with pseudorandom garbage,
-// modelling adversarial or accidental damage. It returns an error when the
-// range is out of bounds.
+// modelling adversarial or accidental damage. It returns an error when
+// the range is out of bounds or the backend is read-only (does not
+// implement io.WriterAt).
 func (d *SimDisk) Corrupt(offset, length int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if offset < 0 || length < 0 || offset+length > len(d.data) {
-		return fmt.Errorf("disk: corrupt [%d, %d) outside store of %d bytes", offset, offset+length, len(d.data))
+	w, ok := d.backend.(io.WriterAt)
+	if !ok {
+		return fmt.Errorf("disk: backend %T is read-only", d.backend)
 	}
-	d.rng.Read(d.data[offset : offset+length])
+	size := d.backend.Size()
+	if offset < 0 || length < 0 || int64(offset)+int64(length) > size {
+		return fmt.Errorf("disk: corrupt [%d, %d) outside store of %d bytes", offset, offset+length, size)
+	}
+	garbage := make([]byte, length)
+	d.mu.Lock()
+	d.rng.Read(garbage)
+	d.mu.Unlock()
+	if _, err := w.WriteAt(garbage, int64(offset)); err != nil {
+		return fmt.Errorf("disk: backend corrupt: %w", err)
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package dpor
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -83,7 +84,7 @@ func (f *dynFixture) runAudit(t *testing.T, k int) core.Report {
 		K:           k,
 		Nonce:       nonce,
 	}
-	st, err := f.verifier.RunAudit(req, f.conn)
+	st, err := f.verifier.RunAudit(context.Background(), req, f.conn)
 	if err != nil {
 		t.Fatal(err)
 	}

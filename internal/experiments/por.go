@@ -12,6 +12,7 @@ import (
 	"repro/internal/blockfile"
 	"repro/internal/por"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // MeasuredMiB sizes the file the E4 table actually encodes and extracts
@@ -22,6 +23,13 @@ var MeasuredMiB = 1
 // pipeline (EncodeStream/ExtractStream over temp files, no full read into
 // memory). cmd/geobench exposes it as -stream.
 var StreamMode = false
+
+// StoreMode switches E4's measured rows to the persistent sharded store:
+// the encode streams through the write-combining placer into a committed
+// store directory, and the extract reads from the reopened store. It is
+// the store counterpart of StreamMode (which scatters into a flat file
+// with one WriteAt per block). cmd/geobench exposes it as -store.
+var StoreMode = false
 
 // MeasurePeakAlloc runs fn while sampling the Go heap, returning the wall
 // time and the peak HeapAlloc growth over a post-GC baseline — the "peak
@@ -113,7 +121,67 @@ func E4Setup() (Table, error) {
 	var encodeTime, extractTime time.Duration
 	var encodePeak, extractPeak uint64
 	var encodedBytes int64
-	if StreamMode {
+	if StoreMode {
+		mode = "store"
+		dir, err := os.MkdirTemp("", "geobench-e4-store-")
+		if err != nil {
+			return t, err
+		}
+		defer os.RemoveAll(dir)
+		inPath := filepath.Join(dir, "in")
+		if err := os.WriteFile(inPath, data, 0o644); err != nil {
+			return t, err
+		}
+		layout, err := blockfile.NewLayout(enc.Params(), int64(len(data)))
+		if err != nil {
+			return t, err
+		}
+		storeDir := filepath.Join(dir, "store")
+		encodeTime, encodePeak, err = MeasurePeakAlloc(func() error {
+			inF, err := os.Open(inPath)
+			if err != nil {
+				return err
+			}
+			defer inF.Close()
+			w, err := store.Create(storeDir, "e4-file", layout, store.Options{})
+			if err != nil {
+				return err
+			}
+			defer w.Close()
+			if _, err := enc.EncodeStream("e4-file", inF, int64(len(data)), w); err != nil {
+				return err
+			}
+			_, err = w.Commit()
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		encodedBytes = layout.EncodedBytes
+		st, err := store.Open(storeDir)
+		if err != nil {
+			return t, err
+		}
+		defer st.Close()
+		outF, err := os.OpenFile(filepath.Join(dir, "out"), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return t, err
+		}
+		defer outF.Close()
+		extractTime, extractPeak, err = MeasurePeakAlloc(func() error {
+			return enc.ExtractStream("e4-file", layout, st, outF)
+		})
+		if err != nil {
+			return t, err
+		}
+		out, err := os.ReadFile(filepath.Join(dir, "out"))
+		if err != nil {
+			return t, err
+		}
+		if !bytes.Equal(out, data) {
+			return t, fmt.Errorf("e4: store extract does not round-trip")
+		}
+	} else if StreamMode {
 		mode = "stream"
 		dir, err := os.MkdirTemp("", "geobench-e4-")
 		if err != nil {

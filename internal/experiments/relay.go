@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"time"
 
@@ -75,7 +76,7 @@ func (d *deployment) audit(k int) (core.Report, error) {
 	if err != nil {
 		return core.Report{}, err
 	}
-	st, err := d.verifier.RunAudit(req, d.conn)
+	st, err := d.verifier.RunAudit(context.Background(), req, d.conn)
 	if err != nil {
 		return core.Report{}, err
 	}

@@ -34,4 +34,14 @@
 // sequential pipeline on the calling goroutine, and any other value caps
 // the worker count. Output is byte-identical at every setting — the knob
 // trades CPU for wall clock, never determinism.
+//
+// # Stream targets
+//
+// A streaming encode writes into any StreamTarget (random-access writes
+// plus read-back): *os.File, MemTarget, or a destination implementing
+// the optional BlockPlacer seam, which receives the permuted scatter as
+// whole block batches instead of one WriteAt per 16-byte block. The
+// persistent sharded store (internal/store) implements BlockPlacer with
+// a write-combining staged placer, which is how file-backed encodes
+// reach in-memory throughput.
 package por

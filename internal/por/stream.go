@@ -52,6 +52,26 @@ type byteRanger interface {
 	Range(off, n int64) []byte
 }
 
+// BlockPlacer is the optional batch seam for targets that can absorb the
+// permuted scatter more cleverly than one WriteAt per block — the
+// write-combining store placer (internal/store.Writer) implements it.
+// PlaceBlocks receives len(offs) blocks of blockSize bytes packed in buf
+// and their destination byte offsets in the encoded file; calls may come
+// concurrently from pipeline workers, and buf is only valid for the
+// duration of the call. A BlockPlacer target is expected to pre-size its
+// backing storage itself: the engine skips the WriteAt pre-extension
+// probe it performs for plain file targets.
+type BlockPlacer interface {
+	PlaceBlocks(buf []byte, blockSize int, offs []int64) error
+}
+
+// placementFlusher is the companion seam to BlockPlacer: after the last
+// placement and before the tag pass reads placed blocks back, the engine
+// gives the target one chance to drain its staging state.
+type placementFlusher interface {
+	FlushPlacements() error
+}
+
 // MemTarget adapts a fixed-size byte slice to the StreamTarget interface,
 // with the direct-memory fast path. It is how the in-memory Encode and
 // Extract run on the streaming engine, and how tests compare streamed
@@ -201,7 +221,8 @@ func readFullAt(r io.ReaderAt, p []byte, off int64) error {
 // scattering the encoded file into w.
 func (sc *streamCoder) encodeTo(r io.Reader, size int64, w StreamTarget) error {
 	ranger, _ := w.(byteRanger)
-	if ranger == nil && sc.layout.EncodedBytes > 0 {
+	placer, _ := w.(BlockPlacer)
+	if ranger == nil && placer == nil && sc.layout.EncodedBytes > 0 {
 		// Pre-extend file-like targets to their final size so the tag
 		// pass can read back every slab without hitting EOF on the
 		// not-yet-written trailing tag bytes.
@@ -213,6 +234,10 @@ func (sc *streamCoder) encodeTo(r io.Reader, size int64, w StreamTarget) error {
 	inRing := newRing(sc.ringCap(), func() []byte { return make([]byte, sc.groupChunks*sc.chunkIn) })
 	outRing := newRing(sc.ringCap(), func() []byte { return make([]byte, sc.groupChunks*sc.chunkOut) })
 	dstRing := newRing(sc.ringCap(), func() []uint64 { return make([]uint64, sc.groupChunks*sc.layout.ChunkTotal) })
+	var offRing *ring[[]int64]
+	if placer != nil {
+		offRing = newRing(sc.ringCap(), func() []int64 { return make([]int64, sc.groupChunks*sc.layout.ChunkTotal) })
+	}
 
 	remaining := size
 	produce := func(emit func(chunkGroup) error) error {
@@ -262,6 +287,11 @@ func (sc *streamCoder) encodeTo(r io.Reader, size int64, w StreamTarget) error {
 		nBlocks := g.nChunks * sc.layout.ChunkTotal
 		dsts := dp[:nBlocks]
 		sc.perm.IndexBatch(uint64(g.firstChunk)*uint64(sc.layout.ChunkTotal), dsts)
+		if placer != nil {
+			op := offRing.get()
+			defer offRing.put(op)
+			return sc.placeBatch(placer, op[:nBlocks], out, dsts)
+		}
 		return sc.placeBlocks(w, ranger, out, dsts)
 	}
 
@@ -280,13 +310,40 @@ func (sc *streamCoder) encodeTo(r io.Reader, size int64, w StreamTarget) error {
 		}
 		dsts := make([]uint64, pad)
 		sc.perm.IndexBatch(uint64(sc.layout.ECCBlocks), dsts)
-		if err := sc.placeBlocks(w, ranger, buf, dsts); err != nil {
-			return err
+		var perr error
+		if placer != nil {
+			perr = sc.placeBatch(placer, make([]int64, pad), buf, dsts)
+		} else {
+			perr = sc.placeBlocks(w, ranger, buf, dsts)
+		}
+		if perr != nil {
+			return perr
+		}
+	}
+
+	// Staged placers drain their write-combining windows here, before the
+	// tag pass reads any placed block back.
+	if fl, ok := w.(placementFlusher); ok {
+		if err := fl.FlushPlacements(); err != nil {
+			return fmt.Errorf("flush placements: %w", err)
 		}
 	}
 
 	// F‴ → F̃: compute and embed every segment tag.
 	return sc.tagPass(w, ranger)
+}
+
+// placeBatch hands one group's blocks to a write-combining placer target:
+// permuted block indices become stored byte offsets in offs (scratch owned
+// by the caller) and the whole batch is placed with a single call.
+func (sc *streamCoder) placeBatch(placer BlockPlacer, offs []int64, buf []byte, dsts []uint64) error {
+	for j, d := range dsts {
+		offs[j] = sc.layout.StoredBlockOffset(int64(d))
+	}
+	if err := placer.PlaceBlocks(buf[:len(dsts)*sc.layout.BlockSize], sc.layout.BlockSize, offs); err != nil {
+		return fmt.Errorf("place blocks: %w", err)
+	}
+	return nil
 }
 
 // placeBlocks writes each block of buf to its permuted stored position.

@@ -1,0 +1,34 @@
+// Package store is the prover's persistent backend: a sharded on-disk
+// block store holding one encoded (error-corrected, encrypted, permuted,
+// tagged) GeoProof file, durable across prover restarts.
+//
+// The write path is a write-combining staged placer. The POR setup
+// pipeline emits permuted block placements whose destinations are a
+// pseudorandom permutation of the whole file — the worst possible write
+// pattern, one 16-byte random write per block if applied naively (the
+// ~2× stream-encode overhead PR 3 measured). The placer instead:
+//
+//   - buckets placements per shard into a bounded in-memory staging
+//     window (Options.WindowBytes across all shards),
+//   - spills each full window to the shard's staging log, sorted by
+//     destination offset, as one large sequential append,
+//   - at FlushPlacements replays each log into a shard-sized buffer and
+//     materialises the shard with a single sequential write.
+//
+// Every byte of encoded payload therefore moves through large sequential
+// I/O only — O(total/window-size) syscalls instead of O(blocks) — while
+// resident memory stays O(window + one shard), independent of file size.
+//
+// Durability is an epoch'd manifest committed by atomic rename: Create
+// publishes an uncommitted manifest (bumped epoch), Commit checksums the
+// shards (CRC-32C) and renames the completed manifest into place. A crash
+// anywhere mid-encode leaves a directory Open reports as ErrIncomplete;
+// a committed store reopens without re-running Setup, which is how
+// cmd/geoproofd -store serves audits across restarts.
+//
+// The read path (Store) opens every shard and serves positioned reads
+// under per-shard read locks: ReadAt for the extractor, ReadSegment /
+// batch ReadSegments for audit challenges. Shards are segment-aligned
+// (blockfile.Layout.AlignToSegments) so a challenged segment is always
+// one pread inside one shard.
+package store

@@ -1,0 +1,221 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/blockfile"
+	"repro/internal/parallel"
+)
+
+// Store is a committed store directory opened for serving: the prover's
+// persistent backend. Reads are positioned (pread) against per-shard file
+// handles under per-shard read locks, so any number of audit reads
+// proceed concurrently; the only writers are corruption injection
+// (experiments) which take the shard's write lock.
+type Store struct {
+	dir      string
+	man      Manifest
+	layout   blockfile.Layout
+	shards   []*os.File
+	locks    []sync.RWMutex
+	readonly bool
+}
+
+// Open loads the manifest and opens every shard of a committed store. A
+// directory whose encode never committed returns ErrIncomplete; missing
+// or inconsistent files return ErrNoManifest/ErrCorrupt. Checksums are
+// not read here — call Verify for a full content scan.
+func Open(dir string) (*Store, error) {
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if !man.Complete {
+		return nil, fmt.Errorf("%w: %s holds a partial encode (epoch %d); re-run setup", ErrIncomplete, dir, man.Epoch)
+	}
+	layout, err := man.Layout()
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:    dir,
+		man:    man,
+		layout: layout,
+		shards: make([]*os.File, len(man.Shards)),
+		locks:  make([]sync.RWMutex, len(man.Shards)),
+	}
+	for i := range man.Shards {
+		path := filepath.Join(dir, fmt.Sprintf(shardPattern, i))
+		// Serving only needs reads; O_RDWR is preferred so the
+		// fault-injection WriteAt seam works, but a store shipped on a
+		// read-only mount must still serve.
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			if f, err = os.Open(path); err == nil {
+				s.readonly = true
+			}
+		}
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("%w: shard %d: %v", ErrCorrupt, i, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			s.Close()
+			return nil, fmt.Errorf("store: stat shard %d: %w", i, err)
+		}
+		if st.Size() != man.Shards[i].Bytes {
+			f.Close()
+			s.Close()
+			return nil, fmt.Errorf("%w: shard %d is %d bytes on disk, manifest says %d", ErrCorrupt, i, st.Size(), man.Shards[i].Bytes)
+		}
+		s.shards[i] = f
+	}
+	return s, nil
+}
+
+// Manifest returns the committed manifest.
+func (s *Store) Manifest() Manifest { return s.man }
+
+// FileID returns the stored file's identifier.
+func (s *Store) FileID() string { return s.man.FileID }
+
+// Layout returns the encoded file's layout.
+func (s *Store) Layout() blockfile.Layout { return s.layout }
+
+// Size returns the encoded byte length, the disk.Backend size contract.
+func (s *Store) Size() int64 { return s.man.EncodedBytes }
+
+// Verify streams every shard and checks it against the committed CRC-32C,
+// catching silent on-disk damage before the store is served.
+func (s *Store) Verify() error {
+	buf := make([]byte, compactChunkBytes)
+	for i, f := range s.shards {
+		s.locks[i].RLock()
+		crc := crc32.New(castagnoli)
+		_, err := io.CopyBuffer(crc, io.NewSectionReader(f, 0, s.man.Shards[i].Bytes), buf)
+		s.locks[i].RUnlock()
+		if err != nil {
+			return fmt.Errorf("store: verify shard %d: %w", i, err)
+		}
+		if got := crc.Sum32(); got != s.man.Shards[i].CRC32C {
+			return fmt.Errorf("%w: shard %d checksum %08x, manifest says %08x", ErrCorrupt, i, got, s.man.Shards[i].CRC32C)
+		}
+	}
+	return nil
+}
+
+// readShards is the shared positioned-read walk over shard files: locks
+// may be nil (Writer) or per-shard (Store). Implements io.ReaderAt
+// semantics including EOF at the end of the encoded payload.
+func readShards(man Manifest, shards []*os.File, locks []sync.RWMutex, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative read offset %d", off)
+	}
+	if off >= man.EncodedBytes {
+		return 0, io.EOF
+	}
+	want := len(p)
+	if max := man.EncodedBytes - off; int64(want) > max {
+		want = int(max)
+	}
+	err := forShards(man, p[:want], off, func(s int, rel int64, part []byte) error {
+		if locks != nil {
+			locks[s].RLock()
+			defer locks[s].RUnlock()
+		}
+		_, rerr := shards[s].ReadAt(part, rel)
+		return rerr
+	})
+	if err != nil {
+		return 0, err
+	}
+	if want < len(p) {
+		return want, io.EOF
+	}
+	return want, nil
+}
+
+// ReadAt implements io.ReaderAt over the whole encoded payload; it is
+// what the POR extractor and the disk backend read through.
+func (s *Store) ReadAt(p []byte, off int64) (int, error) {
+	return readShards(s.man, s.shards, s.locks, p, off)
+}
+
+// WriteAt writes through to the shard files (spanning shards) under the
+// per-shard write locks. It exists for fault-injection — corrupting a
+// served store to demonstrate MAC rejections — and for future dynamic
+// updates; it does NOT update the committed checksums, so Verify fails
+// afterwards by design.
+func (s *Store) WriteAt(p []byte, off int64) (int, error) {
+	if s.readonly {
+		return 0, errors.New("store: opened read-only (shard files are not writable)")
+	}
+	if off < 0 || off+int64(len(p)) > s.man.EncodedBytes {
+		return 0, fmt.Errorf("store: write [%d, %d) outside encoded size %d", off, off+int64(len(p)), s.man.EncodedBytes)
+	}
+	err := forShards(s.man, p, off, func(sh int, rel int64, part []byte) error {
+		s.locks[sh].Lock()
+		defer s.locks[sh].Unlock()
+		_, werr := s.shards[sh].WriteAt(part, rel)
+		return werr
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadSegment returns segment i (payload followed by its embedded tag).
+// Shards are segment-aligned, so this is one pread inside one shard.
+func (s *Store) ReadSegment(i int64) ([]byte, error) {
+	off, err := s.layout.SegmentOffset(i)
+	if err != nil {
+		return nil, err
+	}
+	seg := make([]byte, s.layout.SegmentSize())
+	if _, err := readShards(s.man, s.shards, s.locks, seg, off); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return seg, nil
+}
+
+// ReadSegments fetches a batch of segments with up to workers concurrent
+// preads (workers ≤ 0 selects NumCPU), in index order — the prover-side
+// batch read seam, mirroring cloud.Site.ReadSegments.
+func (s *Store) ReadSegments(indices []int64, workers int) ([][]byte, error) {
+	segs := make([][]byte, len(indices))
+	err := parallel.For(parallel.Resolve(workers), len(indices), func(j int) error {
+		seg, rerr := s.ReadSegment(indices[j])
+		if rerr != nil {
+			return rerr
+		}
+		segs[j] = seg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return segs, nil
+}
+
+// Close releases the shard handles.
+func (s *Store) Close() error {
+	var first error
+	for i, f := range s.shards {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.shards[i] = nil
+		}
+	}
+	return first
+}

@@ -1,0 +1,370 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/blockfile"
+	"repro/internal/por"
+	"repro/internal/store"
+)
+
+// fastParams keeps test files small while still spanning many chunks and
+// segments.
+var fastParams = blockfile.Params{BlockSize: 4, ChunkData: 11, ChunkTotal: 15, SegmentBlocks: 2, TagBits: 32}
+
+func testData(t *testing.T, n int) []byte {
+	t.Helper()
+	d := make([]byte, n)
+	rand.New(rand.NewSource(int64(n))).Read(d)
+	return d
+}
+
+// encodeToStore runs a full streaming encode into a fresh store writer
+// and commits it.
+func encodeToStore(t *testing.T, dir string, enc *por.Encoder, fileID string, data []byte, opts store.Options) (blockfile.Layout, store.Manifest) {
+	t.Helper()
+	layout, err := blockfile.NewLayout(enc.Params(), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := store.Create(dir, fileID, layout, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := enc.EncodeStream(fileID, bytes.NewReader(data), int64(len(data)), w); err != nil {
+		t.Fatalf("encode into store: %v", err)
+	}
+	man, err := w.Commit()
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return layout, man
+}
+
+// TestStoreByteIdentity pins the central placer property: the bytes a
+// store-backed encode materialises are identical to the in-memory
+// encode's, at sequential and parallel concurrency and under a staging
+// window small enough to force many spills.
+func TestStoreByteIdentity(t *testing.T) {
+	data := testData(t, 40000)
+	for _, tc := range []struct {
+		name string
+		conc int
+		opts store.Options
+	}{
+		{"seq-default", 1, store.Options{}},
+		{"par-default", 8, store.Options{}},
+		{"seq-tiny-window", 1, store.Options{WindowBytes: 2048, ShardTargetBytes: 4096}},
+		{"par-tiny-window", 8, store.Options{WindowBytes: 2048, ShardTargetBytes: 4096}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := por.NewEncoder([]byte("store-master")).WithParams(fastParams).WithConcurrency(tc.conc)
+			want, err := enc.Encode("f", data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			layout, man := encodeToStore(t, dir, enc, "f", data, tc.opts)
+			if man.Epoch != 2 {
+				t.Fatalf("fresh committed store at epoch %d, want 2", man.Epoch)
+			}
+			st, err := store.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			if err := st.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			got := make([]byte, layout.EncodedBytes)
+			if _, err := st.ReadAt(got, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want.Data) {
+				t.Fatalf("store bytes differ from in-memory encode")
+			}
+			// Segment reads line up with the flat encoding.
+			segSize := layout.SegmentSize()
+			for _, i := range []int64{0, 1, layout.Segments / 2, layout.Segments - 1} {
+				seg, err := st.ReadSegment(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(seg, want.Data[i*int64(segSize):(i+1)*int64(segSize)]) {
+					t.Fatalf("segment %d differs", i)
+				}
+			}
+			// And the extractor can recover the plaintext straight from
+			// the store.
+			out := por.NewMemTarget(layout.OrigBytes)
+			if err := enc.ExtractStream("f", layout, st, out); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.B, data) {
+				t.Fatal("extract from store does not round-trip")
+			}
+		})
+	}
+}
+
+// TestStoreCrashMidEncodeDetectedAndRecovered is the crash-recovery
+// contract: an encode that dies partway (here: the writer is abandoned
+// without Commit, the on-disk image a kill -9 would leave) must be
+// detected at Open, and re-running setup into the same directory must
+// produce a fully working store.
+func TestStoreCrashMidEncodeDetectedAndRecovered(t *testing.T) {
+	data := testData(t, 20000)
+	enc := por.NewEncoder([]byte("crash-master")).WithParams(fastParams).WithConcurrency(2)
+	layout, err := blockfile.NewLayout(fastParams, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Simulate the crash: place a prefix of the file, never flush or
+	// commit, drop the writer.
+	w, err := store.Create(dir, "f", layout, store.Options{ShardTargetBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([]byte, 8*layout.BlockSize)
+	offs := make([]int64, 8)
+	for i := range offs {
+		offs[i] = int64(i) * int64(layout.SegmentSize()) // arbitrary valid block slots
+	}
+	if err := w.PlaceBlocks(blocks, layout.BlockSize, offs); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	if _, err := store.Open(dir); !errors.Is(err, store.ErrIncomplete) {
+		t.Fatalf("Open of crashed encode: err = %v, want ErrIncomplete", err)
+	}
+
+	// Recovery: re-run the whole setup into the same directory.
+	_, man := encodeToStore(t, dir, enc, "f", data, store.Options{ShardTargetBytes: 4096})
+	if man.Epoch <= 1 {
+		t.Fatalf("re-encoded store at epoch %d, want a bumped epoch", man.Epoch)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after recovery: %v", err)
+	}
+	defer st.Close()
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	out := por.NewMemTarget(layout.OrigBytes)
+	if err := enc.ExtractStream("f", layout, st, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.B, data) {
+		t.Fatal("extract after crash recovery does not round-trip")
+	}
+}
+
+// TestStoreOpenFailures covers the non-crash failure modes: no manifest,
+// garbage manifest, shard size mismatch.
+func TestStoreOpenFailures(t *testing.T) {
+	if _, err := store.Open(t.TempDir()); !errors.Is(err, store.ErrNoManifest) {
+		t.Fatalf("empty dir: err = %v, want ErrNoManifest", err)
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("garbage manifest: err = %v, want ErrCorrupt", err)
+	}
+
+	data := testData(t, 9000)
+	enc := por.NewEncoder([]byte("trunc-master")).WithParams(fastParams)
+	dir2 := t.TempDir()
+	encodeToStore(t, dir2, enc, "f", data, store.Options{ShardTargetBytes: 4096})
+	// Truncate a shard behind the manifest's back.
+	if err := os.Truncate(filepath.Join(dir2, "shard-00001.bin"), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Open(dir2); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("truncated shard: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreVerifyCatchesBitRot flips one byte of one shard after commit
+// and expects Verify (not Open, which only checks sizes) to notice.
+func TestStoreVerifyCatchesBitRot(t *testing.T) {
+	data := testData(t, 9000)
+	enc := por.NewEncoder([]byte("rot-master")).WithParams(fastParams)
+	dir := t.TempDir()
+	encodeToStore(t, dir, enc, "f", data, store.Options{ShardTargetBytes: 4096})
+
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Verify(); err != nil {
+		t.Fatalf("verify of clean store: %v", err)
+	}
+	// Damage one byte through the store's own corruption seam.
+	b := []byte{0xff}
+	orig := make([]byte, 1)
+	if _, err := st.ReadAt(orig, 4097); err != nil {
+		t.Fatal(err)
+	}
+	b[0] = orig[0] ^ 0x40
+	if _, err := st.WriteAt(b, 4097); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Verify(); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("verify of damaged store: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreConcurrentReads hammers ReadSegments from many goroutines so
+// the per-shard lock discipline runs under -race.
+func TestStoreConcurrentReads(t *testing.T) {
+	data := testData(t, 30000)
+	enc := por.NewEncoder([]byte("conc-master")).WithParams(fastParams).WithConcurrency(4)
+	dir := t.TempDir()
+	layout, _ := encodeToStore(t, dir, enc, "f", data, store.Options{ShardTargetBytes: 4096})
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	want, err := enc.Encode("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segSize := int64(layout.SegmentSize())
+	indices := make([]int64, 256)
+	rng := rand.New(rand.NewSource(7))
+	for i := range indices {
+		indices[i] = rng.Int63n(layout.Segments)
+	}
+	segs, err := st.ReadSegments(indices, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, i := range indices {
+		if !bytes.Equal(segs[j], want.Data[i*segSize:(i+1)*segSize]) {
+			t.Fatalf("concurrent segment read %d (index %d) differs", j, i)
+		}
+	}
+}
+
+// TestStoreCreateSweepsStaleShards: re-creating a store with a smaller
+// geometry in the same directory must not leave the old, larger
+// geometry's shard files behind as verified-looking dead data.
+func TestStoreCreateSweepsStaleShards(t *testing.T) {
+	big := testData(t, 40000)
+	small := testData(t, 4000)
+	enc := por.NewEncoder([]byte("sweep-master")).WithParams(fastParams)
+	dir := t.TempDir()
+	encodeToStore(t, dir, enc, "f", big, store.Options{ShardTargetBytes: 4096})
+	bigShards, _ := filepath.Glob(filepath.Join(dir, "shard-*.bin"))
+	if len(bigShards) < 3 {
+		t.Fatalf("setup: want several shards, got %d", len(bigShards))
+	}
+	_, man := encodeToStore(t, dir, enc, "f", small, store.Options{ShardTargetBytes: 4096})
+	files, _ := filepath.Glob(filepath.Join(dir, "shard-*"))
+	if len(files) != len(man.Shards) {
+		t.Fatalf("dir holds %d shard files after re-encode, manifest lists %d: %v", len(files), len(man.Shards), files)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreCreateRejectsOversizedShards: staging records address within
+// a shard through a uint32, so an explicit shard target beyond the hard
+// cap must be rejected up front, not wrap at placement time.
+func TestStoreCreateRejectsOversizedShards(t *testing.T) {
+	layout, err := blockfile.NewLayout(fastParams, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Create(t.TempDir(), "f", layout, store.Options{ShardTargetBytes: 3 << 30}); err == nil {
+		t.Fatal("Create accepted a 3 GiB shard target")
+	}
+}
+
+// TestStoreFailedFlushCannotCommit: a flush that detects a bad placement
+// set (here: a duplicate destination and a missing one) must fail, stay
+// failed, and keep Commit from publishing a checksum-"valid" manifest
+// over unmaterialised shards.
+func TestStoreFailedFlushCannotCommit(t *testing.T) {
+	data := testData(t, 9000)
+	layout, err := blockfile.NewLayout(fastParams, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := store.Create(dir, "f", layout, store.Options{ShardTargetBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	// Place TotalBlocks blocks but send two to the same slot: the count
+	// check passes, the duplicate bitmap must catch it.
+	n := int(layout.TotalBlocks)
+	blocks := make([]byte, n*layout.BlockSize)
+	offs := make([]int64, n)
+	for i := range offs {
+		offs[i] = layout.StoredBlockOffset(int64(i))
+	}
+	offs[1] = offs[0] // duplicate + missing
+	if err := w.PlaceBlocks(blocks, layout.BlockSize, offs); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FlushPlacements(); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("flush of a duplicate placement: err = %v, want ErrCorrupt", err)
+	}
+	if err := w.FlushPlacements(); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("second flush call: err = %v, want the latched ErrCorrupt", err)
+	}
+	if _, err := w.Commit(); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("commit after failed flush: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := store.Open(dir); err == nil {
+		t.Fatal("store with a failed flush opened as committed")
+	}
+}
+
+// TestStoreGiantBlockSize: a block record larger than the replay chunk
+// buffer must degrade to one-record reads, not hang the flush (the
+// zero-length-buffer regression).
+func TestStoreGiantBlockSize(t *testing.T) {
+	giant := blockfile.Params{BlockSize: 2 << 20, ChunkData: 1, ChunkTotal: 2, SegmentBlocks: 1, TagBits: 32}
+	data := testData(t, 100)
+	enc := por.NewEncoder([]byte("giant-master")).WithParams(giant)
+	dir := t.TempDir()
+	layout, _ := encodeToStore(t, dir, enc, "f", data, store.Options{})
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	out := por.NewMemTarget(layout.OrigBytes)
+	if err := enc.ExtractStream("f", layout, st, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.B, data) {
+		t.Fatal("giant-block store does not round-trip")
+	}
+}

@@ -1,0 +1,511 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blockfile"
+)
+
+// Options tunes a store encode. The zero value picks sensible defaults.
+type Options struct {
+	// ShardTargetBytes is the desired shard size; the writer aligns it to
+	// a whole number of segments. 0 picks an adaptive default:
+	// encoded/16 clamped to [1 MiB, 64 MiB], so small files stay
+	// many-sharded enough to exercise the placer while huge files never
+	// need more than a 64 MiB materialisation buffer.
+	ShardTargetBytes int64
+	// WindowBytes bounds the placer's total in-memory staging across all
+	// shards (default 2 MiB). Bigger windows mean fewer, longer staging
+	// flushes; the memory bound is what keeps the whole encode at
+	// O(window + shard) resident regardless of file size.
+	WindowBytes int
+	// Sync, when true, fsyncs every shard file at Commit before the
+	// manifest rename, making the committed store power-loss durable.
+	// Off by default: tests and benchmarks want page-cache speed, and
+	// the manifest itself is always synced.
+	Sync bool
+}
+
+const (
+	defaultWindowBytes = 2 << 20
+	minShardBytes      = 1 << 20
+	maxShardBytes      = 64 << 20
+	// hardMaxShardBytes bounds any caller-supplied ShardTargetBytes:
+	// staging records address within a shard through a uint32, so a
+	// shard may never reach 4 GiB (2 GiB keeps ample margin and bounds
+	// the materialisation buffer too).
+	hardMaxShardBytes = 1 << 31
+	// compactChunkBytes sizes the sequential read buffer used when a
+	// staging log is replayed into its shard image.
+	compactChunkBytes = 1 << 20
+)
+
+// shardSizeFor picks the adaptive shard size for an encoded length.
+func shardSizeFor(layout blockfile.Layout, target int64) int64 {
+	if target <= 0 {
+		target = layout.EncodedBytes / 16
+		if target < minShardBytes {
+			target = minShardBytes
+		}
+		if target > maxShardBytes {
+			target = maxShardBytes
+		}
+	}
+	return layout.AlignToSegments(target)
+}
+
+// stage is one shard's in-memory staging window: fixed-size placement
+// records (4-byte shard-relative destination offset + block bytes)
+// appended in arrival order, sorted by destination at flush time.
+type stage struct {
+	mu  sync.Mutex
+	buf []byte // n complete records
+	n   int
+}
+
+// spillScratch is the reusable sort workspace of one staging spill. The
+// sort key packs (destination offset, record index) into a uint64 so the
+// hot path is slices.Sort over machine words — ~3× the throughput of a
+// sort.Interface over 20-byte records — and the sorted order is realised
+// with a single gather pass into out.
+type spillScratch struct {
+	keys []uint64
+	out  []byte
+}
+
+// sortRecords fills scratch.out with the n records of buf ordered by
+// destination offset and returns it.
+func (sc *spillScratch) sortRecords(buf []byte, rec, n int) []byte {
+	keys := sc.keys[:0]
+	for i := 0; i < n; i++ {
+		keys = append(keys, uint64(binary.LittleEndian.Uint32(buf[i*rec:]))<<32|uint64(i))
+	}
+	slices.Sort(keys)
+	out := sc.out[:n*rec]
+	for j, k := range keys {
+		i := int(k & 0xffffffff)
+		copy(out[j*rec:(j+1)*rec], buf[i*rec:(i+1)*rec])
+	}
+	sc.keys = keys
+	return out
+}
+
+// Writer materialises one encoded file into a store directory. It is the
+// por.StreamTarget of a streaming encode, plus the block-placement fast
+// path the POR scatter stage uses:
+//
+//  1. PlaceBlocks calls (concurrent) stage permuted blocks per shard and
+//     spill full windows to per-shard staging logs as large sequential
+//     appends — never a 16-byte random write;
+//  2. FlushPlacements drains the windows and replays each log into its
+//     shard image, written with one sequential WriteAt per shard;
+//  3. WriteAt/ReadAt then serve the tag pass's big sequential slabs
+//     directly against the shard files;
+//  4. Commit checksums the shards and publishes the manifest by atomic
+//     rename.
+//
+// If the process dies anywhere before Commit, the directory holds an
+// uncommitted manifest and Open reports ErrIncomplete.
+type Writer struct {
+	dir    string
+	man    Manifest
+	layout blockfile.Layout
+	opts   Options
+
+	shards []*os.File
+	logs   []*os.File
+	logOff []int64
+	stages []stage
+
+	recBytes int // 4 + blockSize
+	stageCap int // records per shard window
+	scratch  sync.Pool
+	placed   atomic.Int64
+	flushed  bool
+	flushErr error
+	done     bool
+}
+
+// Create initialises a store directory for one encoded file and returns
+// the Writer to stream the encode into. An existing store (committed or
+// not) in dir is superseded: the new manifest is written uncommitted with
+// a bumped epoch, so a crash mid-encode is detected at the next Open.
+func Create(dir, fileID string, layout blockfile.Layout, opts Options) (*Writer, error) {
+	if fileID == "" {
+		return nil, errors.New("store: empty file id")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	epoch := uint64(1)
+	if prev, err := loadManifest(dir); err == nil {
+		epoch = prev.Epoch + 1
+	}
+	shardBytes := shardSizeFor(layout, opts.ShardTargetBytes)
+	if shardBytes > hardMaxShardBytes {
+		return nil, fmt.Errorf("store: shard size %d exceeds the %d-byte limit (staging records address shards through a uint32)", shardBytes, int64(hardMaxShardBytes))
+	}
+	man := Manifest{
+		Version:      manifestVersion,
+		Epoch:        epoch,
+		FileID:       fileID,
+		OrigBytes:    layout.OrigBytes,
+		Params:       layout.Params,
+		ShardBytes:   shardBytes,
+		EncodedBytes: layout.EncodedBytes,
+		Shards:       make([]ShardInfo, shardCount(layout.EncodedBytes, shardBytes)),
+	}
+	for s := range man.Shards {
+		man.Shards[s].Bytes = shardLen(s, man.EncodedBytes, shardBytes)
+	}
+	// Publish the uncommitted manifest first: from here until Commit the
+	// directory self-identifies as a partial encode.
+	if err := writeManifest(dir, man); err != nil {
+		return nil, err
+	}
+	// A superseded store may have had more shards (bigger file, smaller
+	// shard size); sweep any shard/log files beyond the new geometry so
+	// the directory never carries verified-looking dead data.
+	if err := removeStaleShardFiles(dir, len(man.Shards)); err != nil {
+		return nil, err
+	}
+
+	w := &Writer{
+		dir:      dir,
+		man:      man,
+		layout:   layout,
+		opts:     opts,
+		shards:   make([]*os.File, len(man.Shards)),
+		logs:     make([]*os.File, len(man.Shards)),
+		logOff:   make([]int64, len(man.Shards)),
+		stages:   make([]stage, len(man.Shards)),
+		recBytes: 4 + layout.BlockSize,
+	}
+	window := opts.WindowBytes
+	if window <= 0 {
+		window = defaultWindowBytes
+	}
+	w.stageCap = window / len(man.Shards) / w.recBytes
+	if w.stageCap < 16 {
+		w.stageCap = 16
+	}
+	w.scratch.New = func() any {
+		return &spillScratch{
+			keys: make([]uint64, 0, w.stageCap),
+			out:  make([]byte, w.stageCap*w.recBytes),
+		}
+	}
+	for s := range man.Shards {
+		f, err := os.OpenFile(w.shardPath(s), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("store: create shard %d: %w", s, err)
+		}
+		w.shards[s] = f
+		if err := f.Truncate(man.Shards[s].Bytes); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("store: size shard %d: %w", s, err)
+		}
+		lf, err := os.OpenFile(w.logPath(s), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("store: create staging log %d: %w", s, err)
+		}
+		w.logs[s] = lf
+	}
+	return w, nil
+}
+
+func (w *Writer) shardPath(s int) string { return filepath.Join(w.dir, fmt.Sprintf(shardPattern, s)) }
+func (w *Writer) logPath(s int) string   { return filepath.Join(w.dir, fmt.Sprintf(logPattern, s)) }
+
+// removeStaleShardFiles deletes shard and staging-log files whose index
+// is outside the new geometry — leftovers of a previous, larger store in
+// the same directory.
+func removeStaleShardFiles(dir string, keep int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: scan dir: %w", err)
+	}
+	for _, e := range entries {
+		var idx int
+		for _, pat := range []string{shardPattern, logPattern} {
+			if n, err := fmt.Sscanf(e.Name(), pat, &idx); err == nil && n == 1 && idx >= keep {
+				if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+					return fmt.Errorf("store: remove stale %s: %w", e.Name(), err)
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Manifest returns the (still uncommitted) manifest being built.
+func (w *Writer) Manifest() Manifest { return w.man }
+
+// PlaceBlocks stages len(offs) blocks of blockSize bytes from buf at
+// their destination byte offsets. Destinations may be arbitrarily
+// scattered (they are a pseudorandom permutation); the placer buckets
+// them per shard and turns them into sequential staging-log appends.
+// Safe for concurrent use by the encode pipeline's workers.
+func (w *Writer) PlaceBlocks(buf []byte, blockSize int, offs []int64) error {
+	if w.flushed {
+		return errors.New("store: PlaceBlocks after FlushPlacements")
+	}
+	if blockSize != w.layout.BlockSize {
+		return fmt.Errorf("store: placing %d-byte blocks into a %d-byte-block layout", blockSize, w.layout.BlockSize)
+	}
+	if len(buf) != len(offs)*blockSize {
+		return fmt.Errorf("store: %d bytes for %d placements", len(buf), len(offs))
+	}
+	for j, off := range offs {
+		if off < 0 || off+int64(blockSize) > w.man.EncodedBytes {
+			return fmt.Errorf("store: placement [%d, %d) outside encoded size %d", off, off+int64(blockSize), w.man.EncodedBytes)
+		}
+		s := int(off / w.man.ShardBytes)
+		rel := uint32(off - int64(s)*w.man.ShardBytes)
+		st := &w.stages[s]
+		st.mu.Lock()
+		if st.buf == nil {
+			st.buf = make([]byte, 0, w.stageCap*w.recBytes)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], rel)
+		st.buf = append(st.buf, hdr[:]...)
+		st.buf = append(st.buf, buf[j*blockSize:(j+1)*blockSize]...)
+		st.n++
+		var err error
+		if st.n >= w.stageCap {
+			err = w.spillLocked(s, st)
+		}
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	w.placed.Add(int64(len(offs)))
+	return nil
+}
+
+// spillLocked sorts the shard's staged records by destination and appends
+// them to its staging log as one sequential write. Caller holds st.mu.
+func (w *Writer) spillLocked(s int, st *stage) error {
+	if st.n == 0 {
+		return nil
+	}
+	sc := w.scratch.Get().(*spillScratch)
+	if cap(sc.out) < st.n*w.recBytes {
+		sc.out = make([]byte, st.n*w.recBytes)
+	}
+	sorted := sc.sortRecords(st.buf, w.recBytes, st.n)
+	_, err := w.logs[s].WriteAt(sorted, w.logOff[s])
+	w.logOff[s] += int64(len(sorted))
+	w.scratch.Put(sc)
+	if err != nil {
+		return fmt.Errorf("store: spill staging log %d: %w", s, err)
+	}
+	st.buf = st.buf[:0]
+	st.n = 0
+	return nil
+}
+
+// FlushPlacements drains every staging window and materialises each shard
+// from its log: the log is replayed into a zeroed shard-sized buffer and
+// the whole shard is written with a single sequential WriteAt. After it
+// returns, every placed block is readable at its destination offset (tag
+// bytes are still zero — the tag pass stamps them next) and the staging
+// logs are deleted. It verifies that exactly one block landed on every
+// block position of the layout: the global count must equal TotalBlocks,
+// each destination must be a real block slot (not a tag byte), and a
+// per-shard bitmap rejects duplicates — so count + distinctness together
+// pin the full bijection, and a duplicate-plus-missing pair cannot
+// silently commit a zero-filled block.
+func (w *Writer) FlushPlacements() error {
+	if w.flushed {
+		// A failed flush stays failed: Commit must never see a nil here
+		// and publish checksums over unmaterialised shards.
+		return w.flushErr
+	}
+	w.flushed = true
+	w.flushErr = w.flushPlacements()
+	return w.flushErr
+}
+
+func (w *Writer) flushPlacements() error {
+	if got, want := w.placed.Load(), w.layout.TotalBlocks; got != want {
+		return fmt.Errorf("store: %d blocks placed, layout has %d", got, want)
+	}
+	shardBuf := make([]byte, w.man.ShardBytes)
+	// Replay in whole records, at least one per read: giant block sizes
+	// (record > compactChunkBytes) must degrade to one-record reads, not
+	// to a zero-length buffer that would never advance the replay.
+	recsPerRead := compactChunkBytes / w.recBytes
+	if recsPerRead < 1 {
+		recsPerRead = 1
+	}
+	readBuf := make([]byte, recsPerRead*w.recBytes)
+	bs := w.layout.BlockSize
+	// Block positions inside a shard enumerate injectively as
+	// (segment, block-in-segment); shard sizes are segment multiples, so
+	// the bitmap covers every slot of the largest shard.
+	segSize := int64(w.layout.SegmentSize())
+	v := int64(w.layout.SegmentBlocks)
+	seen := make([]uint64, (w.man.ShardBytes/segSize*v+63)/64)
+	for s := range w.shards {
+		st := &w.stages[s]
+		st.mu.Lock()
+		err := w.spillLocked(s, st)
+		st.buf = nil
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		size := w.man.Shards[s].Bytes
+		img := shardBuf[:size]
+		clear(img)
+		clear(seen)
+		for off := int64(0); off < w.logOff[s]; {
+			n := int64(len(readBuf))
+			if left := w.logOff[s] - off; n > left {
+				n = left
+			}
+			if _, err := io.ReadFull(io.NewSectionReader(w.logs[s], off, n), readBuf[:n]); err != nil {
+				return fmt.Errorf("store: replay staging log %d: %w", s, err)
+			}
+			for r := 0; r < int(n); r += w.recBytes {
+				rel := int64(binary.LittleEndian.Uint32(readBuf[r:]))
+				if rel+int64(bs) > size {
+					return fmt.Errorf("%w: staged placement at %d outside shard %d (%d bytes)", ErrCorrupt, rel, s, size)
+				}
+				if inSeg := rel % segSize; inSeg%int64(bs) != 0 || inSeg/int64(bs) >= v {
+					return fmt.Errorf("%w: staged placement at %d in shard %d is not a block slot", ErrCorrupt, rel, s)
+				}
+				idx := rel/segSize*v + rel%segSize/int64(bs)
+				if seen[idx/64]&(1<<(idx%64)) != 0 {
+					return fmt.Errorf("%w: block slot at %d in shard %d placed twice", ErrCorrupt, rel, s)
+				}
+				seen[idx/64] |= 1 << (idx % 64)
+				copy(img[rel:rel+int64(bs)], readBuf[r+4:r+w.recBytes])
+			}
+			off += n
+		}
+		if size > 0 {
+			if _, err := w.shards[s].WriteAt(img, 0); err != nil {
+				return fmt.Errorf("store: materialise shard %d: %w", s, err)
+			}
+		}
+		w.logs[s].Close()
+		w.logs[s] = nil
+		if err := os.Remove(w.logPath(s)); err != nil {
+			return fmt.Errorf("store: remove staging log %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// forShards walks the shard spans covering [off, off+n) and calls fn with
+// (shard, shard-relative offset, slice of p covering the span).
+func forShards(man Manifest, p []byte, off int64, fn func(s int, rel int64, part []byte) error) error {
+	for len(p) > 0 {
+		s := int(off / man.ShardBytes)
+		rel := off - int64(s)*man.ShardBytes
+		n := man.Shards[s].Bytes - rel
+		if n > int64(len(p)) {
+			n = int64(len(p))
+		}
+		if err := fn(s, rel, p[:n]); err != nil {
+			return err
+		}
+		p = p[n:]
+		off += n
+	}
+	return nil
+}
+
+// WriteAt writes into the shard files at an absolute encoded-file offset,
+// spanning shard boundaries as needed. The streaming encoder uses it for
+// its pre-extension probe and the tag pass's sequential slab stamping;
+// bytes written before FlushPlacements at block positions are superseded
+// by the materialisation pass.
+func (w *Writer) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > w.man.EncodedBytes {
+		return 0, fmt.Errorf("store: write [%d, %d) outside encoded size %d", off, off+int64(len(p)), w.man.EncodedBytes)
+	}
+	err := forShards(w.man, p, off, func(s int, rel int64, part []byte) error {
+		_, werr := w.shards[s].WriteAt(part, rel)
+		return werr
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadAt reads from the shard files at an absolute encoded-file offset.
+// Only meaningful after FlushPlacements (before that, placed blocks still
+// live in the staging logs).
+func (w *Writer) ReadAt(p []byte, off int64) (int, error) {
+	return readShards(w.man, w.shards, nil, p, off)
+}
+
+// Commit checksums every shard, optionally fsyncs them, and publishes the
+// completed manifest by atomic rename. After Commit the directory opens
+// as a consistent Store.
+func (w *Writer) Commit() (Manifest, error) {
+	if w.done {
+		return Manifest{}, errors.New("store: already committed")
+	}
+	if err := w.FlushPlacements(); err != nil {
+		return Manifest{}, err
+	}
+	buf := make([]byte, compactChunkBytes)
+	for s, f := range w.shards {
+		crc := crc32.New(castagnoli)
+		if _, err := io.CopyBuffer(crc, io.NewSectionReader(f, 0, w.man.Shards[s].Bytes), buf); err != nil {
+			return Manifest{}, fmt.Errorf("store: checksum shard %d: %w", s, err)
+		}
+		w.man.Shards[s].CRC32C = crc.Sum32()
+		if w.opts.Sync {
+			if err := f.Sync(); err != nil {
+				return Manifest{}, fmt.Errorf("store: sync shard %d: %w", s, err)
+			}
+		}
+	}
+	w.man.Complete = true
+	w.man.Epoch++
+	if err := writeManifest(w.dir, w.man); err != nil {
+		return Manifest{}, err
+	}
+	w.done = true
+	return w.man, nil
+}
+
+// Close releases the writer's file handles. Without a prior Commit the
+// directory is left in its uncommitted (crash-equivalent) state.
+func (w *Writer) Close() error {
+	var first error
+	for _, fs := range [][]*os.File{w.shards, w.logs} {
+		for i, f := range fs {
+			if f != nil {
+				if err := f.Close(); err != nil && first == nil {
+					first = err
+				}
+				fs[i] = nil
+			}
+		}
+	}
+	return first
+}
+
+// castagnoli is the CRC-32C table shared by Commit and Verify.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
