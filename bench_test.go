@@ -1,6 +1,6 @@
 // Package repro's root benchmark harness regenerates every table and
 // analysis of the GeoProof paper (one testing.B per table/figure,
-// experiments E1-E10 in DESIGN.md) and benchmarks the performance-critical
+// experiments E1-E11 in DESIGN.md) and benchmarks the performance-critical
 // substrates. Run with:
 //
 //	go test -bench=. -benchmem
@@ -11,6 +11,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/blockfile"
+	"repro/internal/core"
 	"repro/internal/crypt"
 	"repro/internal/dpor"
 	"repro/internal/experiments"
@@ -116,6 +118,98 @@ func BenchmarkE10_Ablations(b *testing.B) {
 		t, err := experiments.E10Ablations(int64(i + 1))
 		render(b, "e10", t, err)
 	}
+}
+
+func BenchmarkE11_Transport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E11Transport(int64(i + 1))
+		render(b, "e11", t, err)
+	}
+}
+
+// BenchmarkAuditThroughput is the transport headline: complete signed
+// audits per second, dial-per-audit v1 vs the pooled mux transport, on
+// raw loopback and across an emulated 2 ms WAN link (the paper's RTT
+// regime, where serial request/response pays the RTT every round and the
+// pipelined batch pays it once). The final sub-benchmark doubles as the
+// frame-buffer recycling gate: it bounds heap growth per audit round, so
+// a regression that stops reusing pooled wire buffers fails the run.
+func BenchmarkAuditThroughput(b *testing.B) {
+	const k = 24
+	fx := newTransportFixture(b, k)
+	defer fx.stop()
+
+	run := func(name string, fn func() error) {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "audits/s")
+		})
+	}
+
+	pool := &core.ProverPool{DialTimeout: 5 * time.Second}
+	defer pool.Close()
+	run("loopback/dial-v1", fx.dialAudit)
+	run("loopback/pooled-mux", func() error { return pooledAudit(fx, pool, fx.addr) })
+
+	wanAddr, stopProxy, err := experiments.DelayProxy(fx.addr, 2*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stopProxy()
+	wanPool := &core.ProverPool{DialTimeout: 5 * time.Second}
+	defer wanPool.Close()
+	run("wan2ms/dial-v1", func() error { return fx.dialAuditAt(wanAddr) })
+	run("wan2ms/pooled-mux", func() error { return pooledAudit(fx, wanPool, wanAddr) })
+
+	b.Run("loopback/mux-rounds-allocs", func(b *testing.B) {
+		conn, release, err := pool.Get(fx.addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer release(nil)
+		bc, ok := conn.(core.BatchProverConn)
+		if !ok {
+			b.Fatalf("pooled conn %T is not batch-capable", conn)
+		}
+		ctx := context.Background()
+		batch := func() error {
+			_, err := bc.GetSegmentBatch(ctx, fx.fileID, fx.indices)
+			return err
+		}
+		if err := batch(); err != nil { // prime the frame-buffer pools
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := batch(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&after)
+		rounds := float64(b.N) * k
+		allocsPerRound := float64(after.Mallocs-before.Mallocs) / rounds
+		bytesPerRound := float64(after.TotalAlloc-before.TotalAlloc) / rounds
+		b.ReportMetric(allocsPerRound, "allocs/round")
+		b.ReportMetric(bytesPerRound, "B/round")
+		// With pooled frame buffers a round costs a handful of small
+		// allocations (segment copy, demux delivery); without recycling,
+		// every frame read/write mints a fresh 64 KiB buffer and blows
+		// straight through both bounds.
+		if allocsPerRound > 32 {
+			b.Fatalf("mux round allocates %.1f objects, over the 32/round recycling bound", allocsPerRound)
+		}
+		if bytesPerRound > 8<<10 {
+			b.Fatalf("mux round allocates %.0f B, over the 8 KiB/round recycling bound", bytesPerRound)
+		}
+	})
 }
 
 // --- substrate micro-benchmarks and ablations ---

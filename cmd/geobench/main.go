@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	geobench            # print every experiment (E1-E9)
+//	geobench            # print every experiment (E1-E11)
 //	geobench -exp 6     # print one experiment
 //	geobench -seed 7    # change the simulation seed
 package main
@@ -24,7 +24,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.Int("exp", 0, "experiment number 1-10 (0 = all)")
+	exp := flag.Int("exp", 0, "experiment number 1-11 (0 = all)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("j", 0, "POR pipeline concurrency (0 = all CPUs, 1 = sequential)")
 	mib := flag.Int("mib", 1, "file size in MiB for the measured E4 encode/extract throughput rows")
@@ -48,8 +48,9 @@ func run() error {
 		8:  func() (experiments.Table, error) { return experiments.E8DistanceBounding(*seed) },
 		9:  func() (experiments.Table, error) { return experiments.E9Geolocation(*seed) },
 		10: func() (experiments.Table, error) { return experiments.E10Ablations(*seed) },
+		11: func() (experiments.Table, error) { return experiments.E11Transport(*seed) },
 	}
-	order := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	order := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
 	if *exp != 0 {
 		g, ok := gens[*exp]
 		if !ok {

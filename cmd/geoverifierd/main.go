@@ -15,12 +15,19 @@
 //	geoverifierd -addr :9342 -prover host:9341 [-lat -27.4698 -lon 153.0251]
 //	geoverifierd -audit -meta data.meta.json -provers host:9341,host2:9341 \
 //	    [-tenants 8] [-epochs 3] [-k 20] [-tmax 50ms] [-window 2] \
-//	    [-timeout 5s] [-retries 1] [-j 8] \
+//	    [-timeout 5s] [-retries 1] [-j 8] [-transport pooled] [-conns 1] \
 //	    [-policy host2:9341=window=1,timeout=20s,retries=0]
 //
 // -policy (repeatable) layers per-prover overrides over the fleet knobs:
 // a slow WAN site can get a wider deadline and narrower window without
 // loosening the LAN fleet's policy.
+//
+// -transport picks how audit rounds reach the provers: "pooled" (the
+// default) keeps persistent multiplexed connections warm in a pool and
+// pipelines each audit's challenge batch in one flush — against an old
+// v1-only prover the pool transparently falls back to exclusive
+// per-audit checkout on the same connections — while "dial" restores the
+// original one-TCP-dial-per-audit behaviour for comparison.
 package main
 
 import (
@@ -69,6 +76,8 @@ func run() error {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-attempt audit deadline (audit mode)")
 	retries := flag.Int("retries", 1, "retries after a transport failure or timeout (audit mode)")
 	workers := flag.Int("j", 0, "concurrent audits across all provers, 0 = NumCPU (audit mode)")
+	transport := flag.String("transport", "pooled", "prover transport: pooled (persistent mux conns) or dial (one dial per audit)")
+	conns := flag.Int("conns", 1, "warm pooled connections per prover (audit mode, -transport pooled)")
 	policies := map[string]core.ProverPolicy{}
 	flag.Func("policy",
 		"per-prover policy override, repeatable: addr=window=N,timeout=D,retries=N,backoff=D "+
@@ -98,12 +107,16 @@ func run() error {
 		if targets == "" {
 			targets = *prover
 		}
+		if *transport != "pooled" && *transport != "dial" {
+			return fmt.Errorf("-transport %q: want pooled or dial", *transport)
+		}
 		return runScheduler(schedOpts{
 			verifier: verifier, signerPub: signer, metaPath: *metaPath,
 			provers: strings.Split(targets, ","),
 			tenants: *tenants, epochs: *epochs, k: *k,
 			tmax: *tmax, radiusKm: *radius, lat: *lat, lon: *lon,
 			window: *window, timeout: *timeout, retries: *retries, workers: *workers,
+			transport: *transport, conns: *conns,
 			policies: policies,
 		})
 	}
@@ -113,8 +126,12 @@ func run() error {
 		hex.EncodeToString(elliptic.MarshalCompressed(pub.Curve, pub.X, pub.Y)))
 	srv := &core.VerifierServer{
 		Verifier: verifier,
+		// DialMuxProver negotiates the multiplexed v2 transport so each
+		// audit's challenge batch goes out in one flush; against an old
+		// v1-only prover it falls back to serial rounds on the same
+		// connection.
 		DialProver: func() (core.ProverConn, error) {
-			return core.DialProver(*prover, 5*time.Second)
+			return core.DialMuxProver(*prover, 5*time.Second)
 		},
 	}
 	lis, err := net.Listen("tcp", *addr)
@@ -141,6 +158,8 @@ type schedOpts struct {
 	timeout   time.Duration
 	retries   int
 	workers   int
+	transport string
+	conns     int
 	policies  map[string]core.ProverPolicy
 }
 
@@ -283,17 +302,33 @@ func runScheduler(o schedOpts) error {
 			})
 		}
 	}
+	// Pooled transport: one shared pool of persistent multiplexed
+	// connections across every prover; each audit borrows a warm conn and
+	// pipelines its whole challenge batch. The scheduler's attempt context
+	// cancels only the borrowed stream, so an abandoned audit never kills
+	// a sibling's in-flight rounds. -transport dial keeps the original
+	// connection-per-audit runner for comparison.
+	var pool *core.ProverPool
+	if o.transport != "dial" {
+		pool = &core.ProverPool{DialTimeout: o.timeout, ConnsPerAddr: o.conns}
+		defer pool.Close()
+	}
 	for _, addr := range addrs {
 		addr := addr
 		policy := o.policies[addr]
-		attempt := policy.EffectiveTimeout(o.timeout)
-		sched.RegisterProverPolicy(addr, &core.DialProverRunner{
-			Verifier: o.verifier,
-			Dial: func() (core.ProverConn, error) {
-				return core.DialProver(addr, o.timeout)
-			},
-			AttemptTimeout: attempt,
-		}, policy)
+		var runner core.AuditRunner
+		if pool != nil {
+			runner = &core.PooledRunner{Verifier: o.verifier, Addr: addr, Pool: pool}
+		} else {
+			runner = &core.DialProverRunner{
+				Verifier: o.verifier,
+				Dial: func() (core.ProverConn, error) {
+					return core.DialProver(addr, o.timeout)
+				},
+				AttemptTimeout: policy.EffectiveTimeout(o.timeout),
+			}
+		}
+		sched.RegisterProverPolicy(addr, runner, policy)
 		if policy != (core.ProverPolicy{}) {
 			fmt.Printf("  policy override for %s: %+v\n", addr, policy)
 		}
@@ -302,8 +337,12 @@ func runScheduler(o schedOpts) error {
 	// Continuous mode runs indefinitely; fold epochs older than this into
 	// the per-(tenant, prover) archive cells so the ledger stays bounded.
 	const keepEpochs = 8
-	fmt.Printf("audit scheduler: %d tenants × %d provers × %d rounds, window %d/prover, Δt_max %v\n",
-		o.tenants, len(addrs), o.k, o.window, o.tmax)
+	transport := "pooled mux"
+	if pool == nil {
+		transport = "dial-per-audit"
+	}
+	fmt.Printf("audit scheduler: %d tenants × %d provers × %d rounds, window %d/prover, Δt_max %v, %s transport\n",
+		o.tenants, len(addrs), o.k, o.window, o.tmax, transport)
 	for epoch := 1; o.epochs == 0 || epoch <= o.epochs; epoch++ {
 		if epoch > keepEpochs {
 			sched.Ledger().CompactBefore(uint64(epoch - keepEpochs))

@@ -64,12 +64,16 @@ func run() error {
 	}
 	enc := por.NewEncoder(master).WithParams(m.Params)
 
-	conn, err := core.DialProver(*addr, 5*time.Second)
+	// Negotiate the multiplexed transport where the prover supports it
+	// (the audit's challenge rounds are then pipelined as one batch);
+	// against a pre-mux prover this falls back to the v1 protocol on the
+	// same connection.
+	conn, err := core.DialMuxProver(*addr, 5*time.Second)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
-	if rtt, err := conn.Ping(); err == nil {
+	if rtt, err := conn.Ping(context.Background()); err == nil {
 		fmt.Printf("prover reachable, transport RTT %v\n", rtt)
 	}
 

@@ -134,6 +134,28 @@ type ProverConn interface {
 	GetSegment(ctx context.Context, fileID string, index uint64) ([]byte, error)
 }
 
+// BatchSegmentResult is one round's outcome from a pipelined challenge
+// batch: the segment (nil when the prover failed the round), the RTT the
+// transport measured for it, and the failure flag.
+type BatchSegmentResult struct {
+	Data   []byte
+	RTT    time.Duration
+	Failed bool
+}
+
+// BatchProverConn is the optional transport capability for pipelined
+// audits: all challenge indices are written in one flush and every
+// response is timed on arrival by the transport itself. Verifier.RunAudit
+// uses it automatically when the connection offers it, cutting the audit
+// from k serial round trips to one. Implementations must preserve
+// request order (result i answers indices[i]) and report per-round
+// prover failures as Failed results, reserving the error return for
+// whole-batch transport failures.
+type BatchProverConn interface {
+	ProverConn
+	GetSegmentBatch(ctx context.Context, fileID string, indices []uint64) ([]BatchSegmentResult, error)
+}
+
 // Verifier is the tamper-proof device: a signing key, a GPS receiver and
 // a clock. The zero value is unusable; construct with NewVerifier.
 type Verifier struct {
@@ -182,7 +204,28 @@ func (v *Verifier) RunAudit(ctx context.Context, req AuditRequest, conn ProverCo
 	if err != nil {
 		return SignedTranscript{}, err
 	}
-	rounds := make([]AuditRound, 0, len(indices))
+	var rounds []AuditRound
+	if bc, ok := conn.(BatchProverConn); ok {
+		// Pipelined path: the transport flushes every challenge at once
+		// and times each response on arrival with its own (wall) clock, so
+		// the audit costs one round trip instead of k.
+		results, err := bc.GetSegmentBatch(ctx, req.FileID, indices)
+		if err != nil {
+			return SignedTranscript{}, fmt.Errorf("core: batch audit: %w", err)
+		}
+		if len(results) != len(indices) {
+			return SignedTranscript{}, fmt.Errorf("%w: batch returned %d of %d rounds", ErrBadTranscript, len(results), len(indices))
+		}
+		rounds = make([]AuditRound, len(indices))
+		for i, r := range results {
+			rounds[i] = AuditRound{Index: indices[i], RTT: r.RTT, Failed: r.Failed}
+			if !r.Failed {
+				rounds[i].Segment = r.Data
+			}
+		}
+		return v.finishAudit(req, rounds)
+	}
+	rounds = make([]AuditRound, 0, len(indices))
 	for _, idx := range indices {
 		if err := ctx.Err(); err != nil {
 			return SignedTranscript{}, fmt.Errorf("core: audit cancelled after %d rounds: %w", len(rounds), err)
@@ -204,6 +247,11 @@ func (v *Verifier) RunAudit(ctx context.Context, req AuditRequest, conn ProverCo
 		}
 		rounds = append(rounds, round)
 	}
+	return v.finishAudit(req, rounds)
+}
+
+// finishAudit attaches the GPS fix and signs the completed rounds.
+func (v *Verifier) finishAudit(req AuditRequest, rounds []AuditRound) (SignedTranscript, error) {
 	tr := Transcript{
 		FileID:   req.FileID,
 		Nonce:    append([]byte{}, req.Nonce...),

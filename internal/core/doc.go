@@ -19,12 +19,19 @@
 // # Transports
 //
 // The verifier reaches the prover through the ProverConn interface, with
-// two implementations: SimProverConn rides the deterministic simulated
-// network (simnet, virtual clock), and TCPProverConn speaks the wire
-// framing against a live ProverServer (cmd/geoproofd). VerifierServer and
-// RemoteVerifier add the third leg — a TPA talking to a remote verifier
-// daemon (cmd/geoverifierd) — making the deployment fully distributed as
-// in the paper's Fig. 4.
+// three implementations: SimProverConn rides the deterministic simulated
+// network (simnet, virtual clock); TCPProverConn speaks the serial v1
+// wire framing against a live ProverServer (cmd/geoproofd); and
+// MuxProverConn speaks the multiplexed v2 framing (internal/wire/doc.go)
+// negotiated on the same port — many concurrent audit streams per
+// connection, each audit's k challenges pipelined in one flush
+// (BatchProverConn), per-stream cancellation that never poisons sibling
+// streams. ProverPool keeps negotiated connections warm per address
+// (sharing mux conns, falling back to exclusive checkout for v1-only
+// provers), and VerifierServer and RemoteVerifier add the third leg — a
+// TPA talking to a remote verifier daemon (cmd/geoverifierd), with
+// VerifierPool reusing daemon connections — making the deployment fully
+// distributed as in the paper's Fig. 4.
 //
 // # Multi-tenant audit scheduling
 //
@@ -39,7 +46,9 @@
 // keyed by (tenant, prover, epoch). The same scheduler runs over every
 // transport via the AuditRunner implementations: LocalRunner (in-process,
 // simnet or a fixed connection), DialProverRunner (local verifier, TCP
-// prover per audit) and RemoteRunner (remote verifier daemon per audit).
+// dial per audit), PooledRunner (local verifier, warm multiplexed conns
+// from a ProverPool) and RemoteRunner (remote verifier daemon, optionally
+// pooled via VerifierPool).
 //
 // # Cancellation
 //

@@ -1,0 +1,466 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file is the verifier side of the v2 multiplexed transport: one
+// connection carries many concurrent audit streams, and a whole audit's
+// challenge rounds can be pipelined as a single batch. See
+// internal/wire/doc.go for the protocol itself.
+
+// ErrConnClosed reports an exchange attempted on a mux connection that
+// is already closed or failed.
+var ErrConnClosed = errors.New("core: mux connection closed")
+
+// muxMsg is one demultiplexed frame handed to a waiting stream. The
+// payload is an exact-size copy owned by the receiver.
+type muxMsg struct {
+	typ     byte
+	payload []byte
+}
+
+// muxPending is one in-flight stream: the channel its owner waits on and
+// how many more frames the server owes it.
+type muxPending struct {
+	ch   chan muxMsg
+	want int
+}
+
+// MuxProverConn is a ProverConn carrying many concurrent streams over
+// one negotiated v2 connection. Unlike TCPProverConn it is safe for
+// concurrent use: every exchange gets its own stream ID, a demux loop
+// routes responses, and cancelling one stream's context abandons only
+// that stream — sibling exchanges and the connection itself stay
+// serviceable (there is no whole-connection ErrConnDesynced latch).
+//
+// It also implements BatchProverConn: a whole audit's challenge indices
+// go out as one frame and each response is timed on arrival, which is
+// what removes the per-round write+read syscall pair from the audit hot
+// path.
+type MuxProverConn struct {
+	conn     net.Conn
+	features uint32
+
+	// wmu serializes writers so every frame leaves in one Write call.
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]*muxPending
+	// tomb counts frames still owed to cancelled streams, so late
+	// responses are recognised and dropped instead of read as replies to
+	// the wrong exchange.
+	tomb map[uint32]int
+	err  error
+
+	closeOnce sync.Once
+	rdone     chan struct{}
+}
+
+var (
+	_ ProverConn      = (*MuxProverConn)(nil)
+	_ BatchProverConn = (*MuxProverConn)(nil)
+)
+
+// NewMuxProverConn wraps a connection on which the v2 protocol has
+// already been negotiated (features as acked by the server) and starts
+// its demux loop. Most callers want DialMuxProver or NegotiateProver
+// instead.
+func NewMuxProverConn(conn net.Conn, features uint32) *MuxProverConn {
+	c := &MuxProverConn{
+		conn:     conn,
+		features: features,
+		pending:  make(map[uint32]*muxPending),
+		tomb:     make(map[uint32]int),
+		rdone:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// DialMuxProver connects to a prover and negotiates the multiplexed
+// protocol, falling back to a v1 TCPProverConn against a pre-mux server.
+func DialMuxProver(addr string, timeout time.Duration) (PooledProverConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial prover: %w", err)
+	}
+	pc, err := NegotiateProver(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return pc, nil
+}
+
+// PooledProverConn is the capability set a prover connection needs for
+// pooled reuse: the audit exchanges themselves, a health signal deciding
+// reuse-vs-redial, and Close. Both MuxProverConn and TCPProverConn
+// satisfy it.
+type PooledProverConn interface {
+	ProverConn
+	Ping(ctx context.Context) (time.Duration, error)
+	Healthy() bool
+	Close() error
+}
+
+var _ PooledProverConn = (*TCPProverConn)(nil)
+
+// NegotiateProver negotiates the transport protocol on an established
+// connection: it offers v2 with a v1-framed Hello and returns a
+// *MuxProverConn if the server acks, or a v1 *TCPProverConn on the same
+// connection if the server answered with the unknown-frame error a
+// pre-mux server gives (the server is then already in its v1 loop, so
+// the fallback costs one round trip and no reconnect).
+func NegotiateProver(conn net.Conn) (PooledProverConn, error) {
+	hello := wire.Hello{MaxVersion: wire.MuxVersion, Features: wire.FeatureBatch}
+	if err := wire.WriteFrame(conn, wire.TypeHello, hello.Encode()); err != nil {
+		return nil, fmt.Errorf("send hello: %w", err)
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("read hello reply: %w", err)
+	}
+	switch typ {
+	case wire.TypeHelloAck:
+		ack, err := wire.DecodeHelloAck(payload)
+		if err != nil {
+			return nil, err
+		}
+		if ack.Version != wire.MuxVersion {
+			return nil, fmt.Errorf("core: server negotiated unsupported version %d", ack.Version)
+		}
+		return NewMuxProverConn(conn, ack.Features), nil
+	case wire.TypeError:
+		// A pre-mux server rejects the Hello as an unknown frame type and
+		// keeps serving v1 on this connection.
+		return NewTCPProverConn(conn), nil
+	default:
+		return nil, fmt.Errorf("core: unexpected hello reply type %d", typ)
+	}
+}
+
+// Features returns the feature bits both sides agreed on.
+func (c *MuxProverConn) Features() uint32 { return c.features }
+
+// Healthy reports whether the connection can still carry exchanges.
+func (c *MuxProverConn) Healthy() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err == nil
+}
+
+// Close shuts the connection down; in-flight exchanges fail with
+// ErrConnClosed.
+func (c *MuxProverConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.fail(ErrConnClosed)
+		<-c.rdone
+	})
+	return nil
+}
+
+// fail latches the connection's terminal error, closes the socket (which
+// unblocks the demux loop) and wakes every in-flight stream.
+func (c *MuxProverConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		c.conn.Close()
+		for id, p := range c.pending {
+			close(p.ch)
+			delete(c.pending, id)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// connErr returns the latched terminal error.
+func (c *MuxProverConn) connErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrConnClosed
+}
+
+// issue allocates a stream expecting want reply frames. The channel is
+// buffered for every frame the server can legally send on the stream
+// (want replies, or fewer plus one abort), so the demux loop never
+// blocks on a slow stream owner.
+func (c *MuxProverConn) issue(want int) (uint32, chan muxMsg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	c.nextID++
+	id := c.nextID
+	p := &muxPending{ch: make(chan muxMsg, want+1), want: want}
+	c.pending[id] = p
+	return id, p.ch, nil
+}
+
+// cancel abandons a stream: any frames the server still owes it are
+// tombstoned so the demux loop drops them on arrival. Only this stream
+// dies — the connection and its sibling streams are untouched, which is
+// the central contrast with v1's whole-connection desync latch.
+func (c *MuxProverConn) cancel(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pending[id]
+	if !ok {
+		return // every owed frame already arrived; nothing to drop
+	}
+	delete(c.pending, id)
+	if p.want > 0 {
+		c.tomb[id] = p.want
+	}
+}
+
+// forget drops a stream that never reached the server (its request
+// write failed), so no tombstone is owed.
+func (c *MuxProverConn) forget(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// writeFrame encodes and writes one frame as a single Write call. A
+// write failure is terminal for the connection.
+func (c *MuxProverConn) writeFrame(typ byte, stream uint32, payload []byte) error {
+	buf, err := wire.AppendMuxFrame(wire.GetBuffer(0)[:0], typ, stream, payload)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return err
+	}
+	c.wmu.Lock()
+	_, werr := c.conn.Write(buf)
+	c.wmu.Unlock()
+	wire.PutBuffer(buf)
+	if werr != nil {
+		werr = fmt.Errorf("core: mux write: %w", werr)
+		c.fail(werr)
+		return werr
+	}
+	return nil
+}
+
+// readLoop demultiplexes incoming frames to their streams. It owns the
+// read side of the socket and exits when the connection fails or closes.
+func (c *MuxProverConn) readLoop() {
+	defer close(c.rdone)
+	for {
+		typ, stream, payload, err := wire.ReadMuxFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("core: mux read: %w", err))
+			return
+		}
+		if !c.dispatch(typ, stream, payload) {
+			return
+		}
+	}
+}
+
+// dispatch routes one frame, recycling its pooled payload. It reports
+// whether the loop should keep reading.
+func (c *MuxProverConn) dispatch(typ byte, stream uint32, payload []byte) bool {
+	c.mu.Lock()
+	if left, dead := c.tomb[stream]; dead {
+		// A late frame for a cancelled stream: drop it and retire the
+		// tombstone once the last owed frame (or an abort, which ends the
+		// stream early) has arrived.
+		if typ == wire.TypeStreamAbort || left <= 1 {
+			delete(c.tomb, stream)
+		} else {
+			c.tomb[stream] = left - 1
+		}
+		c.mu.Unlock()
+		wire.PutBuffer(payload)
+		return true
+	}
+	p, ok := c.pending[stream]
+	if !ok {
+		// A frame for a stream this client never issued (or already fully
+		// received) means the two sides disagree about the framing — that
+		// is unrecoverable, so kill the connection.
+		c.mu.Unlock()
+		wire.PutBuffer(payload)
+		c.fail(fmt.Errorf("core: mux frame for unknown stream %d", stream))
+		return false
+	}
+	msg := muxMsg{typ: typ, payload: append(make([]byte, 0, len(payload)), payload...)}
+	if typ == wire.TypeStreamAbort {
+		delete(c.pending, stream)
+	} else {
+		p.want--
+		if p.want <= 0 {
+			delete(c.pending, stream)
+		}
+	}
+	p.ch <- msg // buffered for every legal frame; never blocks
+	c.mu.Unlock()
+	wire.PutBuffer(payload)
+	return true
+}
+
+// GetSegment performs one single-round exchange on its own stream.
+// Cancelling ctx abandons only this stream.
+func (c *MuxProverConn) GetSegment(ctx context.Context, fileID string, index uint64) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	id, ch, err := c.issue(1)
+	if err != nil {
+		return nil, err
+	}
+	req := wire.SegmentRequest{FileID: fileID, Index: index}
+	if err := c.writeFrame(wire.TypeSegmentRequest, id, req.Encode()); err != nil {
+		c.forget(id)
+		return nil, err
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return nil, c.connErr()
+		}
+		switch msg.typ {
+		case wire.TypeSegmentResponse:
+			return msg.payload, nil
+		case wire.TypeError:
+			return nil, wire.DecodeErrorMessage(msg.payload)
+		default:
+			return nil, fmt.Errorf("core: unexpected mux frame type %d", msg.typ)
+		}
+	case <-ctx.Done():
+		c.cancel(id)
+		return nil, ctx.Err()
+	}
+}
+
+// Ping round-trips an empty frame on its own stream, for liveness checks
+// and pool health probes. Cancelling ctx abandons only the probe.
+func (c *MuxProverConn) Ping(ctx context.Context) (time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	id, ch, err := c.issue(1)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := c.writeFrame(wire.TypePing, id, nil); err != nil {
+		c.forget(id)
+		return 0, err
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return 0, c.connErr()
+		}
+		if msg.typ != wire.TypePong {
+			return 0, errors.New("core: unexpected ping reply")
+		}
+		return time.Since(start), nil
+	case <-ctx.Done():
+		c.cancel(id)
+		return 0, ctx.Err()
+	}
+}
+
+// GetSegmentBatch pipelines a whole audit's challenge rounds: all
+// indices leave in one frame (one syscall), the server answers with one
+// frame per index in order, and each reply's RTT is taken on arrival.
+// RTTs are cumulative-from-flush — round i's RTT includes the service
+// time of rounds 0..i-1, exactly what a serial verifier would also have
+// charged round i had it waited its turn; round 0's RTT is a pure serial
+// round trip, so min-RTT distance bounds are unchanged by pipelining.
+//
+// Per-round prover failures come back as Failed results; a batch-level
+// abort or connection failure returns an error and no results. When the
+// server did not ack FeatureBatch the rounds fall back to sequential
+// single-stream exchanges, preserving per-round RTT semantics.
+func (c *MuxProverConn) GetSegmentBatch(ctx context.Context, fileID string, indices []uint64) ([]BatchSegmentResult, error) {
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(indices) > wire.MaxBatch {
+		return nil, fmt.Errorf("core: batch of %d rounds exceeds protocol maximum %d", len(indices), wire.MaxBatch)
+	}
+	if c.features&wire.FeatureBatch == 0 {
+		return c.sequentialBatch(ctx, fileID, indices)
+	}
+	id, ch, err := c.issue(len(indices))
+	if err != nil {
+		return nil, err
+	}
+	req := wire.SegmentBatchRequest{FileID: fileID, Indices: indices}
+	start := time.Now()
+	if err := c.writeFrame(wire.TypeSegmentBatchRequest, id, req.Encode()); err != nil {
+		c.forget(id)
+		return nil, err
+	}
+	results := make([]BatchSegmentResult, 0, len(indices))
+	for len(results) < len(indices) {
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				return nil, c.connErr()
+			}
+			rtt := time.Since(start)
+			switch msg.typ {
+			case wire.TypeSegmentResponse:
+				results = append(results, BatchSegmentResult{Data: msg.payload, RTT: rtt})
+			case wire.TypeError:
+				results = append(results, BatchSegmentResult{RTT: rtt, Failed: true})
+			case wire.TypeStreamAbort:
+				return nil, fmt.Errorf("core: batch aborted by prover: %w", wire.DecodeErrorMessage(msg.payload))
+			default:
+				c.cancel(id)
+				return nil, fmt.Errorf("core: unexpected mux frame type %d", msg.typ)
+			}
+		case <-ctx.Done():
+			c.cancel(id)
+			return nil, ctx.Err()
+		}
+	}
+	return results, nil
+}
+
+// sequentialBatch runs the rounds one stream at a time for servers
+// without the batch feature, timing each round individually.
+func (c *MuxProverConn) sequentialBatch(ctx context.Context, fileID string, indices []uint64) ([]BatchSegmentResult, error) {
+	results := make([]BatchSegmentResult, 0, len(indices))
+	for _, idx := range indices {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		data, err := c.GetSegment(ctx, fileID, idx)
+		rtt := time.Since(start)
+		if err != nil {
+			if ctx.Err() != nil || !c.Healthy() {
+				return nil, err
+			}
+			results = append(results, BatchSegmentResult{RTT: rtt, Failed: true})
+			continue
+		}
+		results = append(results, BatchSegmentResult{Data: data, RTT: rtt})
+	}
+	return results, nil
+}

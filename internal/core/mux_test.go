@@ -1,0 +1,554 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/crypt"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/wire"
+)
+
+// dialMux connects to addr and requires the negotiation to land on the
+// mux transport.
+func dialMux(t *testing.T, addr string) *MuxProverConn {
+	t.Helper()
+	pc, err := DialMuxProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, ok := pc.(*MuxProverConn)
+	if !ok {
+		pc.Close()
+		t.Fatalf("negotiated %T, want *MuxProverConn", pc)
+	}
+	return mc
+}
+
+func TestMuxEndToEndAudit(t *testing.T) {
+	enc, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn := dialMux(t, addr)
+	defer conn.Close()
+	if conn.Features()&wire.FeatureBatch == 0 {
+		t.Fatal("server did not ack the batch feature")
+	}
+
+	signer, _ := crypt.NewSigner()
+	verifier, err := NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100})
+	policy.TMax = 250 * time.Millisecond
+	tpa, err := NewTPA(enc, signer.Public(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := tpa.NewRequest(ef.FileID, ef.Layout, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The verifier must take the pipelined batch path automatically.
+	st, err := verifier.RunAudit(context.Background(), req, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tpa.VerifyAudit(req, ef.Layout, st)
+	if !rep.Accepted {
+		t.Fatalf("mux audit rejected: %s", rep.Reason())
+	}
+	if rep.SegmentsOK != 12 {
+		t.Fatalf("segments ok %d", rep.SegmentsOK)
+	}
+	for i, r := range st.Transcript.Rounds {
+		if r.RTT <= 0 {
+			t.Fatalf("round %d RTT %v", i, r.RTT)
+		}
+	}
+}
+
+func TestMuxConcurrentStreamsOneConn(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn := dialMux(t, addr)
+	defer conn.Close()
+
+	// Many goroutines exchange on the same connection; under -race this
+	// also proves the demux bookkeeping is clean.
+	const goroutines = 16
+	const perG = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				idx := uint64((g*perG + i) % int(ef.Layout.Segments))
+				seg, err := conn.GetSegment(context.Background(), ef.FileID, idx)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(seg) != ef.Layout.SegmentSize() {
+					errs <- errors.New("wrong segment size")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if !conn.Healthy() {
+		t.Fatal("conn unhealthy after concurrent streams")
+	}
+}
+
+// stallProvider delays one specific index long enough to outlive a
+// cancelled context, leaving every other index fast.
+type stallProvider struct {
+	cloud.Provider
+	stallIndex int64
+	stall      time.Duration
+}
+
+func (p *stallProvider) FetchSegment(fileID string, i int64) ([]byte, time.Duration, error) {
+	data, _, err := p.Provider.FetchSegment(fileID, i)
+	if i == p.stallIndex {
+		return data, p.stall, err
+	}
+	return data, 0, err
+}
+
+func TestMuxCancelledStreamDoesNotPoisonConn(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	prov := &stallProvider{
+		Provider:   &cloud.HonestProvider{Site: site},
+		stallIndex: 3,
+		stall:      400 * time.Millisecond,
+	}
+	addr, stop := startServer(t, prov, true)
+	defer stop()
+	conn := dialMux(t, addr)
+	defer conn.Close()
+
+	// Stream A hits the stalled index and is cancelled mid-flight.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := conn.GetSegment(ctx, ef.FileID, 3)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled stream returned %v", err)
+	}
+	if el := time.Since(start); el > 300*time.Millisecond {
+		t.Fatalf("cancelled stream took %v, not prompt", el)
+	}
+
+	// The defining mux property: the cancelled stream leaves the
+	// connection and its sibling streams fully serviceable — no
+	// whole-conn ErrConnDesynced latch as in the v1 transport.
+	if !conn.Healthy() {
+		t.Fatal("cancelled stream poisoned the connection")
+	}
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 0); err != nil {
+		t.Fatalf("sibling exchange after cancellation: %v", err)
+	}
+	// Even once the stalled response finally lands (as a tombstoned late
+	// frame), the connection keeps working.
+	time.Sleep(500 * time.Millisecond)
+	if !conn.Healthy() {
+		t.Fatal("late tombstoned frame killed the connection")
+	}
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 1); err != nil {
+		t.Fatalf("exchange after late frame: %v", err)
+	}
+}
+
+func TestMuxBatchPerRoundFailure(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn := dialMux(t, addr)
+	defer conn.Close()
+
+	// An out-of-range index fails its round; the rest of the batch must
+	// still come back in order.
+	indices := []uint64{0, uint64(ef.Layout.Segments) + 10, 1}
+	results, err := conn.GetSegmentBatch(context.Background(), ef.FileID, indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Failed || results[2].Failed {
+		t.Fatal("healthy rounds marked failed")
+	}
+	if !results[1].Failed {
+		t.Fatal("out-of-range round not marked failed")
+	}
+	if !conn.Healthy() {
+		t.Fatal("per-round failure poisoned the connection")
+	}
+}
+
+func TestMuxPingAndCancel(t *testing.T) {
+	_, _, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn := dialMux(t, addr)
+	defer conn.Close()
+	rtt, err := conn.Ping(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Fatalf("ping rtt %v", rtt)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := conn.Ping(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ping: %v", err)
+	}
+	// Unlike v1, a cancelled mux probe never desyncs the connection.
+	if !conn.Healthy() {
+		t.Fatal("cancelled ping poisoned mux conn")
+	}
+	if _, err := conn.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after cancel: %v", err)
+	}
+}
+
+func TestMuxCloseFailsInflight(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	prov := &stallProvider{
+		Provider:   &cloud.HonestProvider{Site: site},
+		stallIndex: 0,
+		stall:      time.Second,
+	}
+	addr, stop := startServer(t, prov, true)
+	defer stop()
+	conn := dialMux(t, addr)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.GetSegment(context.Background(), ef.FileID, 0)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("in-flight exchange survived Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock in-flight exchange")
+	}
+	if conn.Healthy() {
+		t.Fatal("closed conn still healthy")
+	}
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 1); err == nil {
+		t.Fatal("exchange on closed conn succeeded")
+	}
+}
+
+// legacyServer speaks only the v1 protocol, answering any unknown frame
+// type (including Hello) with TypeError — the exact behavior of a pre-mux
+// geoproofd build, used to prove negotiation fallback.
+func legacyServer(t *testing.T, provider cloud.Provider) (string, func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				for {
+					typ, payload, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					switch typ {
+					case wire.TypePing:
+						if wire.WriteFrame(conn, wire.TypePong, nil) != nil {
+							return
+						}
+					case wire.TypeSegmentRequest:
+						req, derr := wire.DecodeSegmentRequest(payload)
+						if derr != nil {
+							if wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: derr.Error()}.Encode()) != nil {
+								return
+							}
+							continue
+						}
+						data, _, ferr := provider.FetchSegment(req.FileID, int64(req.Index))
+						if ferr != nil {
+							if wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: ferr.Error()}.Encode()) != nil {
+								return
+							}
+							continue
+						}
+						if wire.WriteFrame(conn, wire.TypeSegmentResponse, data) != nil {
+							return
+						}
+					default:
+						if wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: "unknown frame type"}.Encode()) != nil {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+	return lis.Addr().String(), func() {
+		lis.Close()
+		wg.Wait()
+	}
+}
+
+func TestMuxNegotiationFallsBackToV1(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := legacyServer(t, &cloud.HonestProvider{Site: site})
+	defer stop()
+	pc, err := DialMuxProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	if _, ok := pc.(*TCPProverConn); !ok {
+		t.Fatalf("negotiated %T against legacy server, want *TCPProverConn", pc)
+	}
+	// The fallback connection works on the very same socket.
+	seg, err := pc.GetSegment(context.Background(), ef.FileID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg) != ef.Layout.SegmentSize() {
+		t.Fatalf("segment size %d", len(seg))
+	}
+	if _, err := pc.Ping(context.Background()); err != nil {
+		t.Fatalf("ping over fallback conn: %v", err)
+	}
+}
+
+func TestMuxV1ClientAgainstMuxServer(t *testing.T) {
+	// The other interop direction: a v1-only client (plain DialProver, no
+	// Hello) against the current server must be served by the v1 loop.
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn, err := DialProver(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawMuxConn negotiates the mux protocol by hand so tests can inject
+// arbitrary frames.
+func rawMuxConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := wire.Hello{MaxVersion: wire.MuxVersion, Features: wire.FeatureBatch}
+	if err := wire.WriteFrame(raw, wire.TypeHello, hello.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeHelloAck {
+		t.Fatalf("hello reply type %d", typ)
+	}
+	if _, err := wire.DecodeHelloAck(payload); err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestMuxServerMalformedBatchAbortsStream(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	raw := rawMuxConn(t, addr)
+	defer raw.Close()
+	// Garbage batch payload: the server cannot know how many reply frames
+	// the stream owes, so it must abort exactly that stream.
+	if err := wire.WriteMuxFrame(raw, wire.TypeSegmentBatchRequest, 7, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	typ, stream, payload, err := wire.ReadMuxFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire.PutBuffer(payload)
+	if typ != wire.TypeStreamAbort || stream != 7 {
+		t.Fatalf("got type %d stream %d, want abort on stream 7", typ, stream)
+	}
+	// The connection survives: a well-formed exchange still works.
+	req := wire.SegmentRequest{FileID: ef.FileID, Index: 0}
+	if err := wire.WriteMuxFrame(raw, wire.TypeSegmentRequest, 8, req.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	typ, stream, payload, err = wire.ReadMuxFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire.PutBuffer(payload)
+	if typ != wire.TypeSegmentResponse || stream != 8 {
+		t.Fatalf("got type %d stream %d after abort", typ, stream)
+	}
+}
+
+func TestMuxServerUnknownTypePerStreamError(t *testing.T) {
+	_, _, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	raw := rawMuxConn(t, addr)
+	defer raw.Close()
+	if err := wire.WriteMuxFrame(raw, 99, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, stream, payload, err := wire.ReadMuxFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire.PutBuffer(payload)
+	if typ != wire.TypeError || stream != 5 {
+		t.Fatalf("got type %d stream %d", typ, stream)
+	}
+}
+
+func TestMuxClientRejectsUnknownStream(t *testing.T) {
+	// A server that answers on a stream the client never issued proves
+	// the two sides disagree about framing; the client must kill the
+	// connection rather than mis-deliver frames.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		typ, payload, err := wire.ReadFrame(conn)
+		if err != nil || typ != wire.TypeHello {
+			return
+		}
+		if _, err := wire.DecodeHello(payload); err != nil {
+			return
+		}
+		ack := wire.HelloAck{Version: wire.MuxVersion, Features: wire.FeatureBatch}
+		if wire.WriteFrame(conn, wire.TypeHelloAck, ack.Encode()) != nil {
+			return
+		}
+		// Answer whatever arrives on a wildly different stream ID.
+		_, stream, payload2, err := wire.ReadMuxFrame(conn)
+		if err != nil {
+			return
+		}
+		wire.PutBuffer(payload2)
+		_ = wire.WriteMuxFrame(conn, wire.TypeSegmentResponse, stream+1000, []byte("stray"))
+	}()
+	pc, err := DialMuxProver(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	mc := pc.(*MuxProverConn)
+	_, err = mc.GetSegment(context.Background(), "f", 0)
+	if err == nil {
+		t.Fatal("exchange against misbehaving server succeeded")
+	}
+	<-served
+	if mc.Healthy() {
+		t.Fatal("conn still healthy after unknown-stream frame")
+	}
+}
+
+func TestMuxConcurrentAudits(t *testing.T) {
+	// Whole audits — batch streams — interleaved on one connection.
+	enc, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	conn := dialMux(t, addr)
+	defer conn.Close()
+
+	signer, _ := crypt.NewSigner()
+	verifier, err := NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100})
+	policy.TMax = time.Second
+	tpa, err := NewTPA(enc, signer.Public(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const audits = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, audits)
+	for a := 0; a < audits; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := tpa.NewRequest(ef.FileID, ef.Layout, 10)
+			if err != nil {
+				errs <- err
+				return
+			}
+			st, err := verifier.RunAudit(context.Background(), req, conn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if rep := tpa.VerifyAudit(req, ef.Layout, st); !rep.Accepted {
+				errs <- errors.New("audit rejected: " + rep.Reason())
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

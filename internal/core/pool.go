@@ -1,0 +1,347 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the connection-pool layer that turns the dial-per-audit
+// runners into persistent-transport runners: warm prover connections
+// shared (mux) or checked out (v1) per address, health-checked reuse,
+// and redial on failure. The pools sit entirely behind the AuditRunner
+// seam, so core.Scheduler is unchanged.
+
+// ErrPoolClosed reports a Get on a closed pool.
+var ErrPoolClosed = errors.New("core: connection pool closed")
+
+// ProverPool keeps warm prover connections per address. Connections that
+// are safe for concurrent exchanges — those implementing BatchProverConn,
+// i.e. the negotiated mux transport — are *shared*: up to ConnsPerAddr of
+// them per address, handed out round-robin, each carrying many concurrent
+// audit streams. Addresses whose server only speaks v1 fall back to
+// *exclusive* checkout: an idle-list of single-exchange connections,
+// dialing extras whenever demand exceeds the idle supply.
+//
+// Reuse is health-checked: an unhealthy connection (failed mux conn,
+// desynced v1 conn) is closed and replaced by a fresh dial instead of
+// poisoning later audits. The pool is safe for concurrent use.
+type ProverPool struct {
+	// Dial opens and negotiates a connection. Nil defaults to
+	// DialMuxProver with DialTimeout, which yields a MuxProverConn
+	// against a current server and a v1 TCPProverConn against a pre-mux
+	// one.
+	Dial func(addr string) (PooledProverConn, error)
+	// DialTimeout bounds the default Dial (0 = 5s).
+	DialTimeout time.Duration
+	// ConnsPerAddr is how many shared mux connections to spread an
+	// address's audit streams over (≤ 0 = 1). One is right for almost
+	// everyone; more only helps once a single connection's write path
+	// saturates a core.
+	ConnsPerAddr int
+
+	mu     sync.Mutex
+	addrs  map[string]*poolEntry
+	closed bool
+	dials  atomic.Int64
+}
+
+// poolEntry is one address's connections. Its mutex also covers dialing,
+// so concurrent Gets against a cold address wait for the first dial
+// instead of stampeding the server.
+type poolEntry struct {
+	mu    sync.Mutex
+	slots []PooledProverConn // shared mux conns, round-robin
+	next  int
+	v1    bool               // negotiation fell back to v1 for this addr
+	idle  []PooledProverConn // exclusive v1 conns awaiting checkout
+}
+
+// Dials returns how many connections the pool has dialed — the
+// observable that reuse tests and benchmarks assert on.
+func (p *ProverPool) Dials() int64 { return p.dials.Load() }
+
+func (p *ProverPool) dial(addr string) (PooledProverConn, error) {
+	p.dials.Add(1)
+	if p.Dial != nil {
+		return p.Dial(addr)
+	}
+	timeout := p.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return DialMuxProver(addr, timeout)
+}
+
+func (p *ProverPool) entry(addr string) (*poolEntry, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	if p.addrs == nil {
+		p.addrs = make(map[string]*poolEntry)
+	}
+	e, ok := p.addrs[addr]
+	if !ok {
+		n := p.ConnsPerAddr
+		if n <= 0 {
+			n = 1
+		}
+		e = &poolEntry{slots: make([]PooledProverConn, n)}
+		p.addrs[addr] = e
+	}
+	return e, nil
+}
+
+// Get returns a warm connection to addr and the release to call when the
+// audit is done, passing the audit's error so the pool can judge reuse.
+// Shared connections stay pooled across release (release only reaps them
+// once unhealthy); exclusive v1 connections return to the idle list on
+// clean release and are closed otherwise.
+func (p *ProverPool) Get(addr string) (PooledProverConn, func(error), error) {
+	e, err := p.entry(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.v1 {
+		// Round-robin over the healthy shared slots.
+		n := len(e.slots)
+		for i := 0; i < n; i++ {
+			j := (e.next + i) % n
+			if c := e.slots[j]; c != nil && c.Healthy() {
+				e.next = j + 1
+				return c, p.sharedRelease(e, j, c), nil
+			}
+		}
+		// No healthy shared conn: dial into the first free slot.
+		conn, err := p.dial(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, shared := conn.(BatchProverConn); shared {
+			for j, c := range e.slots {
+				if c == nil || !c.Healthy() {
+					if c != nil {
+						c.Close()
+					}
+					e.slots[j] = conn
+					e.next = j + 1
+					return conn, p.sharedRelease(e, j, conn), nil
+				}
+			}
+			// Unreachable (a free slot always exists when no slot was
+			// healthy), but hand the conn out unpooled rather than leak it.
+			return conn, func(error) { conn.Close() }, nil
+		}
+		// The server answered v1: this address's conns are exclusive from
+		// here on.
+		e.v1 = true
+		return conn, p.exclusiveRelease(e, conn), nil
+	}
+	for len(e.idle) > 0 {
+		conn := e.idle[len(e.idle)-1]
+		e.idle = e.idle[:len(e.idle)-1]
+		if conn.Healthy() {
+			return conn, p.exclusiveRelease(e, conn), nil
+		}
+		conn.Close()
+	}
+	conn, err := p.dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return conn, p.exclusiveRelease(e, conn), nil
+}
+
+// sharedRelease reaps a shared connection from its slot once it is no
+// longer healthy; healthy shared conns stay pooled across releases.
+func (p *ProverPool) sharedRelease(e *poolEntry, slot int, conn PooledProverConn) func(error) {
+	return func(error) {
+		if conn.Healthy() {
+			return
+		}
+		e.mu.Lock()
+		if e.slots[slot] == conn {
+			e.slots[slot] = nil
+		}
+		e.mu.Unlock()
+		conn.Close()
+	}
+}
+
+// exclusiveRelease returns a checked-out v1 connection to the idle list
+// when the audit finished cleanly, and closes it otherwise (a failed or
+// cancelled audit may have desynced the framing).
+func (p *ProverPool) exclusiveRelease(e *poolEntry, conn PooledProverConn) func(error) {
+	var once sync.Once
+	return func(err error) {
+		once.Do(func() {
+			if err == nil && conn.Healthy() {
+				p.mu.Lock()
+				closed := p.closed
+				p.mu.Unlock()
+				if !closed {
+					e.mu.Lock()
+					e.idle = append(e.idle, conn)
+					e.mu.Unlock()
+					return
+				}
+			}
+			conn.Close()
+		})
+	}
+}
+
+// Close closes every pooled connection and fails later Gets. Exclusive
+// connections currently checked out are closed by their release instead.
+func (p *ProverPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	addrs := p.addrs
+	p.addrs = nil
+	p.mu.Unlock()
+	for _, e := range addrs {
+		e.mu.Lock()
+		for j, c := range e.slots {
+			if c != nil {
+				c.Close()
+				e.slots[j] = nil
+			}
+		}
+		for _, c := range e.idle {
+			c.Close()
+		}
+		e.idle = nil
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// PooledRunner drives audits through an in-process verifier over pooled
+// prover connections — the persistent-transport replacement for
+// DialProverRunner. Against a mux server, concurrent audits share one
+// warm connection (each audit is its own stream, its challenge rounds
+// pipelined as one batch); against a pre-mux server it degrades to
+// health-checked v1 connection reuse. Either way the dial handshake
+// leaves the audit hot path.
+type PooledRunner struct {
+	Verifier *Verifier
+	Addr     string
+	Pool     *ProverPool
+}
+
+var _ AuditRunner = (*PooledRunner)(nil)
+
+// RunAudit borrows a pooled connection for one audit.
+func (r *PooledRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
+	conn, release, err := r.Pool.Get(r.Addr)
+	if err != nil {
+		return SignedTranscript{}, fmt.Errorf("pooled prover conn: %w", err)
+	}
+	st, err := r.Verifier.RunAudit(ctx, req, conn)
+	release(err)
+	return st, err
+}
+
+// VerifierPool keeps warm TPA→verifier-daemon connections per address.
+// A RemoteVerifier carries strictly serial request/response audits, so
+// connections are checked out exclusively and returned on clean release;
+// a connection desynced by a cancelled audit is closed and replaced.
+type VerifierPool struct {
+	// DialTimeout bounds each dial (0 = 5s).
+	DialTimeout time.Duration
+
+	mu     sync.Mutex
+	idle   map[string][]*RemoteVerifier
+	closed bool
+	dials  atomic.Int64
+}
+
+// Dials returns how many daemon connections the pool has dialed.
+func (p *VerifierPool) Dials() int64 { return p.dials.Load() }
+
+// Get checks out a warm connection to the daemon at addr, dialing if no
+// healthy idle connection exists. The caller must hand it back with Put.
+func (p *VerifierPool) Get(addr string) (*RemoteVerifier, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	for {
+		conns := p.idle[addr]
+		if len(conns) == 0 {
+			break
+		}
+		rv := conns[len(conns)-1]
+		p.idle[addr] = conns[:len(conns)-1]
+		if rv.Healthy() {
+			p.mu.Unlock()
+			// A previous checkout may have armed an attempt deadline.
+			if err := rv.SetDeadline(time.Time{}); err != nil {
+				rv.Close()
+				return p.Get(addr)
+			}
+			return rv, nil
+		}
+		rv.Close()
+	}
+	p.mu.Unlock()
+	timeout := p.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	p.dials.Add(1)
+	return DialVerifier(addr, timeout)
+}
+
+// Put returns a checked-out connection, passing the audit's error so the
+// pool can judge reuse: a clean, healthy connection goes back to the
+// idle list, anything else is closed.
+func (p *VerifierPool) Put(addr string, rv *RemoteVerifier, err error) {
+	if rv == nil {
+		return
+	}
+	if err != nil || !rv.Healthy() {
+		rv.Close()
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		rv.Close()
+		return
+	}
+	if p.idle == nil {
+		p.idle = make(map[string][]*RemoteVerifier)
+	}
+	p.idle[addr] = append(p.idle[addr], rv)
+}
+
+// Close closes every idle connection and fails later Gets. Connections
+// currently checked out are closed by their Put.
+func (p *VerifierPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for _, conns := range p.idle {
+		for _, rv := range conns {
+			rv.Close()
+		}
+	}
+	p.idle = nil
+	return nil
+}

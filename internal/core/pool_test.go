@@ -1,0 +1,233 @@
+package core
+
+import (
+	"context"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/crypt"
+	"repro/internal/geo"
+	"repro/internal/gps"
+)
+
+func TestProverPoolSharesMuxConn(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	pool := &ProverPool{DialTimeout: time.Second}
+	defer pool.Close()
+
+	// Many sequential and concurrent borrows must all ride one dial.
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, release, err := pool.Get(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			_, err = conn.GetSegment(context.Background(), ef.FileID, uint64(i%int(ef.Layout.Segments)))
+			release(err)
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if d := pool.Dials(); d != 1 {
+		t.Fatalf("pool dialed %d times, want 1", d)
+	}
+}
+
+func TestProverPoolRedialsAfterConnDeath(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	pool := &ProverPool{DialTimeout: time.Second}
+	defer pool.Close()
+
+	conn, release, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the pooled connection out from under the pool.
+	conn.Close()
+	release(nil)
+
+	// The next borrow must health-check, discard the dead conn and
+	// redial transparently.
+	conn2, release2, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := conn2.GetSegment(context.Background(), ef.FileID, 1)
+	release2(err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg) != ef.Layout.SegmentSize() {
+		t.Fatalf("segment size %d", len(seg))
+	}
+	if d := pool.Dials(); d != 2 {
+		t.Fatalf("pool dialed %d times, want 2", d)
+	}
+}
+
+func TestProverPoolV1ExclusiveCheckout(t *testing.T) {
+	// Against a legacy server the pool degrades to exclusive v1
+	// checkout/checkin with reuse.
+	_, ef, site := tcpFixture(t)
+	addr, stop := legacyServer(t, &cloud.HonestProvider{Site: site})
+	defer stop()
+	pool := &ProverPool{DialTimeout: time.Second}
+	defer pool.Close()
+
+	for i := 0; i < 5; i++ {
+		conn, release, err := pool.Get(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := conn.(*TCPProverConn); !ok {
+			t.Fatalf("borrowed %T, want *TCPProverConn", conn)
+		}
+		_, err = conn.GetSegment(context.Background(), ef.FileID, 0)
+		release(err)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Serial borrows reuse the single checked-in conn: one dial total
+	// (negotiation probe included).
+	if d := pool.Dials(); d != 1 {
+		t.Fatalf("pool dialed %d times, want 1", d)
+	}
+
+	// Two simultaneous checkouts need a second conn.
+	c1, r1, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, r2, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("same exclusive conn checked out twice")
+	}
+	r1(nil)
+	r2(nil)
+	if d := pool.Dials(); d != 2 {
+		t.Fatalf("pool dialed %d times, want 2", d)
+	}
+}
+
+func TestProverPoolClosedGetFails(t *testing.T) {
+	pool := &ProverPool{}
+	pool.Close()
+	if _, _, err := pool.Get("127.0.0.1:1"); err == nil {
+		t.Fatal("Get on closed pool succeeded")
+	}
+}
+
+func TestPooledRunnerWithScheduler(t *testing.T) {
+	// End-to-end: the scheduler drives concurrent audits through a
+	// PooledRunner; every audit shares the pool's warm mux connection.
+	enc, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	pool := &ProverPool{DialTimeout: time.Second}
+	defer pool.Close()
+
+	signer, _ := crypt.NewSigner()
+	verifier, err := NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100})
+	policy.TMax = time.Second
+	tpa, err := NewTPA(enc, signer.Public(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewScheduler(SchedulerConfig{Workers: 4, ProverWindow: 4, Timeout: 5 * time.Second})
+	sched.RegisterTenant("acme", tpa)
+	sched.RegisterProver("dc", &PooledRunner{Verifier: verifier, Addr: addr, Pool: pool})
+
+	tasks := make([]AuditTask, 12)
+	for i := range tasks {
+		tasks[i] = AuditTask{Tenant: "acme", Prover: "dc", FileID: ef.FileID, Layout: ef.Layout, K: 8}
+	}
+	verdicts := sched.RunEpoch(context.Background(), tasks)
+	for i, v := range verdicts {
+		if v.Outcome != OutcomeAccepted {
+			t.Fatalf("verdict %d: %s (%s)", i, v.Outcome, v.Err)
+		}
+	}
+	if d := pool.Dials(); d != 1 {
+		t.Fatalf("12 scheduled audits dialed %d times, want 1", d)
+	}
+}
+
+func TestVerifierPoolReusesDaemonConns(t *testing.T) {
+	enc, ef, site := tcpFixture(t)
+	paddr, pstop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer pstop()
+
+	signer, _ := crypt.NewSigner()
+	verifier, err := NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := &VerifierServer{
+		Verifier:   verifier,
+		DialProver: func() (ProverConn, error) { return DialMuxProver(paddr, time.Second) },
+	}
+	vlis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go vs.Serve(vlis)
+	defer vs.Close()
+	vaddr := vlis.Addr().String()
+
+	policy := DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100})
+	policy.TMax = time.Second
+	tpa, err := NewTPA(enc, signer.Public(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vpool := &VerifierPool{DialTimeout: time.Second}
+	defer vpool.Close()
+	runner := &RemoteRunner{Addr: vaddr, Pool: vpool, AttemptTimeout: 5 * time.Second}
+	for i := 0; i < 5; i++ {
+		req, err := tpa.NewRequest(ef.FileID, ef.Layout, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := runner.RunAudit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := tpa.VerifyAudit(req, ef.Layout, st); !rep.Accepted {
+			t.Fatalf("audit %d rejected: %s", i, rep.Reason())
+		}
+	}
+	if d := vpool.Dials(); d != 1 {
+		t.Fatalf("5 serial remote audits dialed %d daemon conns, want 1", d)
+	}
+}

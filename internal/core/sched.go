@@ -36,8 +36,11 @@ var ErrAuditTimeout = errors.New("core: audit attempt timed out")
 //     established TCP connection),
 //   - DialProverRunner: in-process verifier, fresh TCP prover connection
 //     per audit,
+//   - PooledRunner: in-process verifier over a ProverPool of persistent
+//     multiplexed prover connections — the production transport,
 //   - RemoteRunner: fully distributed — each audit is shipped to a
-//     verifier daemon (geoverifierd) which runs the rounds on its side.
+//     verifier daemon (geoverifierd) which runs the rounds on its side;
+//     give it a VerifierPool to reuse daemon connections across audits.
 //
 // *RemoteVerifier satisfies the interface directly for a single
 // long-lived daemon connection (audits then serialize on that
@@ -127,37 +130,54 @@ func (r *DialProverRunner) RunAudit(ctx context.Context, req AuditRequest) (Sign
 	return r.Verifier.RunAudit(ctx, req, conn)
 }
 
-// RemoteRunner ships each audit to a verifier daemon, dialing per audit so
-// concurrent audits get independent connections.
+// RemoteRunner ships each audit to a verifier daemon. Without a Pool it
+// dials per audit so concurrent audits get independent connections; with
+// a Pool, connections are checked out, health-checked and reused — a
+// desynced or failed connection is replaced by a fresh dial.
 type RemoteRunner struct {
 	Addr        string
 	DialTimeout time.Duration
 	// AttemptTimeout bounds the whole remote audit with an absolute I/O
 	// deadline on the daemon connection; see
-	// DialProverRunner.AttemptTimeout.
+	// DialProverRunner.AttemptTimeout. Pooled connections clear it again
+	// on the next checkout.
 	AttemptTimeout time.Duration
+	// Pool, when non-nil, reuses daemon connections across audits.
+	Pool *VerifierPool
 }
 
 var _ AuditRunner = (*RemoteRunner)(nil)
 
-// RunAudit dials the daemon, submits the request and waits for the signed
-// transcript.
+// RunAudit obtains a daemon connection (pooled or freshly dialed),
+// submits the request and waits for the signed transcript.
 func (r *RemoteRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
-	timeout := r.DialTimeout
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+	var rv *RemoteVerifier
+	var err error
+	if r.Pool != nil {
+		rv, err = r.Pool.Get(r.Addr)
+	} else {
+		timeout := r.DialTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		rv, err = DialVerifier(r.Addr, timeout)
 	}
-	rv, err := DialVerifier(r.Addr, timeout)
 	if err != nil {
 		return SignedTranscript{}, err
 	}
-	defer rv.Close()
 	if r.AttemptTimeout > 0 {
 		if err := rv.SetDeadline(time.Now().Add(r.AttemptTimeout)); err != nil {
+			rv.Close()
 			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
 		}
 	}
-	return rv.RunAudit(ctx, req)
+	st, err := rv.RunAudit(ctx, req)
+	if r.Pool != nil {
+		r.Pool.Put(r.Addr, rv, err)
+	} else {
+		rv.Close()
+	}
+	return st, err
 }
 
 // AuditTask is one scheduled audit: which tenant wants which file checked

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -15,16 +16,22 @@ import (
 
 // This file is the live-deployment transport: the prover listens on TCP
 // and serves segment requests; the verifier connects and times each
-// round on the wall clock. It is also used by the integration tests over
-// net.Pipe with injected delays.
+// round on the wall clock. Two protocols share the listener, negotiated
+// per connection (see internal/wire/doc.go): the original v1
+// request/response framing, and the v2 mux framing that carries many
+// concurrent streams — and whole pipelined challenge batches — over one
+// connection. It is also used by the integration tests over net.Pipe
+// with injected delays.
 
 // ProverServer serves segment requests from a cloud.Provider over a
 // listener. SimulateServiceTime controls whether the provider's modelled
 // service latency is actually slept (true for realistic end-to-end timing
-// demos, false to serve at line rate). Concurrency caps how many
-// connections are served simultaneously (≤ 0 = unlimited): excess
+// demos, false to serve at line rate). Concurrency bounds the server two
+// ways (≤ 0 = unlimited): v1 connections served simultaneously — excess
 // connections queue at the accept loop rather than overcommitting the
-// disk, matching the concurrency knob of the rest of the stack.
+// disk — and, on each mux connection, streams served concurrently, so
+// one greedy peer cannot fan a single socket out into unbounded
+// goroutines.
 type ProverServer struct {
 	Provider            cloud.Provider
 	SimulateServiceTime bool
@@ -81,50 +88,258 @@ func (s *ProverServer) Close() error {
 	return nil
 }
 
-// handle serves one connection: a stream of request/response frames.
+// handle serves one connection. The first frame picks the protocol: a
+// well-formed Hello upgrades to the mux framing; anything else — in
+// particular a v1 client's opening request — is served by the v1
+// request/response loop, first frame included.
 func (s *ProverServer) handle(conn net.Conn) {
 	defer conn.Close()
+	typ, payload, err := wire.ReadFramePooled(conn)
+	if err != nil {
+		return // EOF or broken peer: nothing to answer
+	}
+	if typ == wire.TypeHello {
+		hello, herr := wire.DecodeHello(payload)
+		wire.PutBuffer(payload)
+		if herr != nil || hello.MaxVersion < wire.MuxVersion {
+			// A malformed or too-old hello gets the same answer a pre-mux
+			// server gives an unknown frame type, and the peer falls back
+			// to v1 on this connection.
+			if wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: "unsupported hello"}.Encode()) != nil {
+				return
+			}
+			s.serveV1(conn)
+			return
+		}
+		ack := wire.HelloAck{Version: wire.MuxVersion, Features: hello.Features & wire.FeatureBatch}
+		if wire.WriteFrame(conn, wire.TypeHelloAck, ack.Encode()) != nil {
+			return
+		}
+		s.serveMux(conn)
+		return
+	}
+	if !s.serveV1Frame(conn, typ, payload) {
+		return
+	}
+	s.serveV1(conn)
+}
+
+// serveV1 runs the v1 request/response loop: one frame in, one frame
+// out, strictly serial per connection.
+func (s *ProverServer) serveV1(conn net.Conn) {
 	for {
-		typ, payload, err := wire.ReadFrame(conn)
+		typ, payload, err := wire.ReadFramePooled(conn)
 		if err != nil {
-			return // EOF or broken peer: nothing to answer
+			return
+		}
+		if !s.serveV1Frame(conn, typ, payload) {
+			return
+		}
+	}
+}
+
+// serveV1Frame answers one v1 frame, recycling its payload buffer. It
+// reports whether the connection is still worth serving.
+func (s *ProverServer) serveV1Frame(conn net.Conn, typ byte, payload []byte) bool {
+	defer wire.PutBuffer(payload)
+	switch typ {
+	case wire.TypePing:
+		return wire.WriteFrame(conn, wire.TypePong, nil) == nil
+	case wire.TypeSegmentRequest:
+		req, err := wire.DecodeSegmentRequest(payload)
+		if err != nil {
+			return wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()) == nil
+		}
+		data, err := s.fetch(req.FileID, req.Index)
+		if err != nil {
+			return wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()) == nil
+		}
+		return wire.WriteFrame(conn, wire.TypeSegmentResponse, wire.SegmentResponse{Data: data}.Encode()) == nil
+	default:
+		return wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: "unknown frame type"}.Encode()) == nil
+	}
+}
+
+// fetch reads one segment from the provider, sleeping its modelled
+// service latency when the server simulates it.
+func (s *ProverServer) fetch(fileID string, index uint64) ([]byte, error) {
+	data, lookup, err := s.Provider.FetchSegment(fileID, int64(index))
+	if err != nil {
+		return nil, err
+	}
+	if s.SimulateServiceTime && lookup > 0 {
+		time.Sleep(lookup)
+	}
+	return data, nil
+}
+
+// muxServerConn is the server's per-connection mux state: a mutex-guarded
+// write path (every frame leaves in one Write call) and a kill switch
+// that stops the read loop once any stream hits a fatal write error.
+type muxServerConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	dead atomic.Bool
+}
+
+// writeFrames writes a pre-encoded run of frames as one syscall. On
+// failure the connection is marked dead and closed, which unblocks the
+// read loop.
+func (m *muxServerConn) writeFrames(buf []byte) bool {
+	m.wmu.Lock()
+	_, err := m.conn.Write(buf)
+	m.wmu.Unlock()
+	if err != nil {
+		if m.dead.CompareAndSwap(false, true) {
+			m.conn.Close()
+		}
+		return false
+	}
+	return true
+}
+
+// writeFrame encodes and writes a single mux frame through a pooled
+// buffer.
+func (m *muxServerConn) writeFrame(typ byte, stream uint32, payload []byte) bool {
+	buf, err := wire.AppendMuxFrame(wire.GetBuffer(0)[:0], typ, stream, payload)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return false
+	}
+	ok := m.writeFrames(buf)
+	wire.PutBuffer(buf)
+	return ok
+}
+
+// serveMux runs the v2 loop: the read loop only decodes and dispatches,
+// stream work runs in bounded goroutines, so one slow fetch cannot
+// head-of-line-block the frames queued behind it.
+func (s *ProverServer) serveMux(conn net.Conn) {
+	m := &muxServerConn{conn: conn}
+	var sem chan struct{}
+	if s.Concurrency > 0 {
+		sem = make(chan struct{}, s.Concurrency)
+	}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		typ, stream, payload, err := wire.ReadMuxFrame(br)
+		if err != nil || m.dead.Load() {
+			return
 		}
 		switch typ {
 		case wire.TypePing:
-			if err := wire.WriteFrame(conn, wire.TypePong, nil); err != nil {
+			wire.PutBuffer(payload)
+			if !m.writeFrame(wire.TypePong, stream, nil) {
 				return
 			}
 		case wire.TypeSegmentRequest:
-			req, err := wire.DecodeSegmentRequest(payload)
-			if err != nil {
-				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
+			req, derr := wire.DecodeSegmentRequest(payload)
+			wire.PutBuffer(payload)
+			if derr != nil {
+				if !m.writeFrame(wire.TypeError, stream, wire.ErrorMessage{Msg: derr.Error()}.Encode()) {
 					return
 				}
 				continue
 			}
-			data, lookup, err := s.Provider.FetchSegment(req.FileID, int64(req.Index))
-			if err != nil {
-				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
+			if cap(sem) > 0 {
+				sem <- struct{}{}
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if cap(sem) > 0 {
+					defer func() { <-sem }()
+				}
+				s.serveSegmentStream(m, stream, req)
+			}()
+		case wire.TypeSegmentBatchRequest:
+			req, derr := wire.DecodeSegmentBatchRequest(payload)
+			wire.PutBuffer(payload)
+			if derr != nil {
+				// The peer cannot know how many reply frames a batch it
+				// failed to encode would have carried, so the stream is
+				// aborted outright rather than answered per index.
+				if !m.writeFrame(wire.TypeStreamAbort, stream, wire.ErrorMessage{Msg: derr.Error()}.Encode()) {
 					return
 				}
 				continue
 			}
-			if s.SimulateServiceTime && lookup > 0 {
-				time.Sleep(lookup)
+			if cap(sem) > 0 {
+				sem <- struct{}{}
 			}
-			if err := wire.WriteFrame(conn, wire.TypeSegmentResponse, wire.SegmentResponse{Data: data}.Encode()); err != nil {
-				return
-			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if cap(sem) > 0 {
+					defer func() { <-sem }()
+				}
+				s.serveBatchStream(m, stream, req)
+			}()
 		default:
-			if err := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: "unknown frame type"}.Encode()); err != nil {
+			wire.PutBuffer(payload)
+			if !m.writeFrame(wire.TypeError, stream, wire.ErrorMessage{Msg: "unknown frame type"}.Encode()) {
 				return
 			}
 		}
 	}
 }
 
-// TCPProverConn is the verifier side of the TCP transport. It is safe
-// for sequential use only, matching the strictly serial audit rounds.
+// serveSegmentStream answers one single-request stream.
+func (s *ProverServer) serveSegmentStream(m *muxServerConn, stream uint32, req wire.SegmentRequest) {
+	data, err := s.fetch(req.FileID, req.Index)
+	if err != nil {
+		m.writeFrame(wire.TypeError, stream, wire.ErrorMessage{Msg: err.Error()}.Encode())
+		return
+	}
+	m.writeFrame(wire.TypeSegmentResponse, stream, data)
+}
+
+// serveBatchStream answers a pipelined challenge batch: exactly one
+// frame per requested index, in request order. Responses are coalesced
+// into pooled buffers and flushed in large writes at line rate; when
+// service time is simulated, everything produced so far is flushed
+// before each sleep so earlier rounds are never delayed by later ones.
+func (s *ProverServer) serveBatchStream(m *muxServerConn, stream uint32, req wire.SegmentBatchRequest) {
+	buf := wire.GetBuffer(0)[:0]
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		ok := m.writeFrames(buf)
+		buf = buf[:0]
+		return ok
+	}
+	for _, idx := range req.Indices {
+		data, lookup, err := s.Provider.FetchSegment(req.FileID, int64(idx))
+		if err == nil && s.SimulateServiceTime && lookup > 0 {
+			if !flush() {
+				wire.PutBuffer(buf)
+				return
+			}
+			time.Sleep(lookup)
+		}
+		if err != nil {
+			buf, _ = wire.AppendMuxFrame(buf, wire.TypeError, stream, wire.ErrorMessage{Msg: err.Error()}.Encode())
+		} else {
+			buf, _ = wire.AppendMuxFrame(buf, wire.TypeSegmentResponse, stream, data)
+		}
+		if len(buf) >= 32<<10 {
+			if !flush() {
+				wire.PutBuffer(buf)
+				return
+			}
+		}
+	}
+	flush()
+	wire.PutBuffer(buf)
+}
+
+// TCPProverConn is the verifier side of the v1 TCP transport. It is safe
+// for sequential use only, matching the strictly serial audit rounds;
+// MuxProverConn is the multiplexed replacement that shares one
+// connection between concurrent audits.
 type TCPProverConn struct {
 	conn net.Conn
 	// Delay injects artificial symmetric one-way delay per direction,
@@ -142,7 +357,8 @@ func NewTCPProverConn(conn net.Conn) *TCPProverConn {
 	return &TCPProverConn{conn: conn}
 }
 
-// DialProver connects to a prover server.
+// DialProver connects to a prover server speaking the v1 protocol.
+// DialMuxProver negotiates the multiplexed protocol instead.
 func DialProver(addr string, timeout time.Duration) (*TCPProverConn, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -154,14 +370,37 @@ func DialProver(addr string, timeout time.Duration) (*TCPProverConn, error) {
 // Close closes the underlying connection.
 func (c *TCPProverConn) Close() error { return c.conn.Close() }
 
+// Healthy reports whether the connection can still carry exchanges — it
+// is false once a cancelled exchange desynced the framing. Connection
+// pools use it to decide between reuse and redial.
+func (c *TCPProverConn) Healthy() bool { return !c.desynced.Load() }
+
 // SetDeadline bounds all future reads and writes on the connection. The
 // audit scheduler sets an absolute per-attempt deadline so a hung prover
 // surfaces as an I/O timeout instead of blocking a goroutine forever.
 func (c *TCPProverConn) SetDeadline(t time.Time) error { return c.conn.SetDeadline(t) }
 
 // Ping round-trips an empty frame, for liveness checks and LAN-latency
-// baselining.
-func (c *TCPProverConn) Ping() (time.Duration, error) {
+// baselining. Cancelling ctx pokes the connection deadline exactly like
+// GetSegment, so a liveness probe against a hung prover returns promptly
+// instead of hanging its caller (the probe then counts as an abandoned
+// exchange: the connection latches ErrConnDesynced).
+func (c *TCPProverConn) Ping(ctx context.Context) (time.Duration, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if c.desynced.Load() {
+		return 0, ErrConnDesynced
+	}
+	disarm := pokeOnCancel(ctx, c.conn)
+	defer func() {
+		if disarm() {
+			c.desynced.Store(true)
+		}
+	}()
 	start := time.Now()
 	if err := wire.WriteFrame(c.conn, wire.TypePing, nil); err != nil {
 		return 0, err
@@ -179,7 +418,9 @@ func (c *TCPProverConn) Ping() (time.Duration, error) {
 // ErrConnDesynced reports that a request/response connection was
 // abandoned mid-exchange by a cancelled context: the peer's response may
 // still be in flight, so any further exchange could read a stale frame.
-// The connection must be reconnected, never reused.
+// The connection must be reconnected, never reused. Only the v1
+// transport can get here — mux streams cancel individually without
+// touching their siblings.
 var ErrConnDesynced = errors.New("core: connection desynced by a cancelled exchange; reconnect")
 
 // pokeOnCancel arms ctx to interrupt conn's blocking I/O by expiring its

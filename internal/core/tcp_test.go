@@ -131,12 +131,65 @@ func TestTCPPing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	rtt, err := conn.Ping()
+	rtt, err := conn.Ping(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rtt <= 0 || rtt > time.Second {
 		t.Fatalf("ping rtt %v", rtt)
+	}
+	// A cancelled context must short-circuit before touching the wire.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := conn.Ping(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ping with cancelled ctx: %v", err)
+	}
+	// The short-circuit is not an abandoned exchange: the conn stays
+	// healthy and a live ping still works.
+	if !conn.Healthy() {
+		t.Fatal("conn desynced by pre-cancelled ping")
+	}
+	if _, err := conn.Ping(context.Background()); err != nil {
+		t.Fatalf("ping after cancelled ping: %v", err)
+	}
+}
+
+func TestTCPPingCancelUnblocksAndDesyncs(t *testing.T) {
+	// A ping against a server that never answers must return promptly on
+	// ctx cancellation (deadline poke) and latch the desync.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close() // accept and stay silent
+		}
+	}()
+	conn, err := DialProver(lis.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := conn.Ping(ctx); err == nil {
+		t.Fatal("ping against silent server succeeded")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancelled ping took %v", el)
+	}
+	if conn.Healthy() {
+		t.Fatal("abandoned ping left conn marked healthy")
+	}
+	if _, err := conn.Ping(context.Background()); !errors.Is(err, ErrConnDesynced) {
+		t.Fatalf("ping on desynced conn: %v", err)
 	}
 }
 

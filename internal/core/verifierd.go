@@ -134,6 +134,11 @@ func DialVerifier(addr string, timeout time.Duration) (*RemoteVerifier, error) {
 // Close closes the TPA↔verifier connection.
 func (r *RemoteVerifier) Close() error { return r.conn.Close() }
 
+// Healthy reports whether the connection can still carry audits — false
+// once a cancelled audit desynced the framing. VerifierPool uses it to
+// decide between reuse and redial.
+func (r *RemoteVerifier) Healthy() bool { return !r.desynced.Load() }
+
 // SetDeadline bounds all future reads and writes on the connection; see
 // TCPProverConn.SetDeadline.
 func (r *RemoteVerifier) SetDeadline(t time.Time) error { return r.conn.SetDeadline(t) }

@@ -1,0 +1,40 @@
+package wire
+
+import "sync"
+
+// poolBufCap is the largest buffer the frame pool retains. GeoProof
+// frames are tiny (segment + tag ≈ 100 bytes; batch requests a few KiB),
+// so anything larger is an outlier not worth pinning in the pool.
+const poolBufCap = 64 << 10
+
+// bufPool recycles frame payload and scratch buffers across the
+// transport hot paths: reading a frame, encoding a frame for a single
+// write, and staging batched responses. One pool of poolBufCap-capacity
+// buffers covers every frame class the protocol produces.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, poolBufCap)
+		return &b
+	},
+}
+
+// GetBuffer returns a buffer of length n, drawn from the frame pool when
+// n fits the pooled capacity and freshly allocated otherwise. Contents
+// are undefined; hand it back with PutBuffer.
+func GetBuffer(n int) []byte {
+	if n > poolBufCap {
+		return make([]byte, n)
+	}
+	bp := bufPool.Get().(*[]byte)
+	return (*bp)[:n]
+}
+
+// PutBuffer returns a GetBuffer buffer to the pool. Oversized or
+// reallocated buffers are dropped so the pool's footprint stays bounded.
+func PutBuffer(b []byte) {
+	if cap(b) != poolBufCap {
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

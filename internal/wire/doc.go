@@ -1,0 +1,73 @@
+// Package wire defines the binary framing GeoProof peers speak over TCP.
+// Payload encodings are hand-rolled with encoding/binary — no reflection,
+// no allocation surprises — and malformed input surfaces as typed errors
+// rather than panics. Two framings share the same frame-type namespace:
+//
+// # v1: request/response frames
+//
+// The original framing is a fixed 5-byte header followed by the payload:
+//
+//	offset  size  field
+//	0       4     payload length (big-endian uint32, ≤ MaxFrame)
+//	4       1     frame type
+//	5       n     payload
+//
+// A v1 connection is strictly half-duplex per exchange: the client writes
+// one request frame and reads one response frame. Abandoning an exchange
+// mid-flight desynchronises the connection (the response may still be in
+// transit), which is why the v1 transport latches core.ErrConnDesynced.
+//
+// # v2: multiplexed stream frames
+//
+// The v2 framing widens the header with a stream identifier so many
+// exchanges can be in flight on one connection at once:
+//
+//	offset  size  field
+//	0       4     payload length (big-endian uint32, ≤ MaxFrame)
+//	4       1     frame type
+//	5       4     stream id (big-endian uint32)
+//	9       n     payload
+//
+// Stream ids are allocated by the client (monotonically increasing);
+// the server echoes the request's stream id on every frame it sends in
+// reply and never invents ids of its own.
+//
+// # Version negotiation
+//
+// A v2-capable client opens every connection with a v1-framed Hello
+// carrying the magic, its maximum supported version and its feature bits.
+// The server answers with exactly one of:
+//
+//   - a v1-framed HelloAck (the connection speaks v2 mux frames from the
+//     next byte on, with the feature set intersected by the ack), or
+//   - a v1-framed Error — the reply a pre-v2 server gives any frame type
+//     it does not know — after which the client silently falls back to
+//     the v1 request/response protocol on the same connection.
+//
+// A v1-only client never sends Hello, and a v2 server serves any
+// connection whose first frame is not a Hello with the v1 protocol, so
+// the two generations interoperate in both directions with no
+// configuration.
+//
+// # Stream lifecycle
+//
+//   - A stream is opened implicitly by the first request frame carrying
+//     its id (TypeSegmentRequest, TypeSegmentBatchRequest or TypePing).
+//   - A single request stream receives exactly one reply frame
+//     (TypeSegmentResponse, TypePong, or TypeError for a per-request
+//     failure that leaves the connection itself healthy).
+//   - A batch request stream (TypeSegmentBatchRequest with k indices)
+//     receives exactly k reply frames in challenge order — one
+//     TypeSegmentResponse or TypeError per index — unless the server
+//     aborts the stream with a single TypeStreamAbort (malformed batch
+//     payload), after which that stream id is dead and no further frames
+//     carry it.
+//   - Cancellation is client-local: a caller that stops waiting on a
+//     stream simply discards late frames for that id. No frame is sent;
+//     sibling streams on the connection are unaffected. This is the v2
+//     replacement for v1's whole-connection desync latch.
+//
+// Frames for a stream id the client never issued are a protocol
+// violation and kill the connection, as does any unparseable frame
+// header; per-stream payload errors are confined to their stream.
+package wire

@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the v2 multiplexed framing and its negotiation payloads;
+// doc.go carries the full protocol spec.
+
+// MuxVersion is the protocol version the mux framing negotiates.
+const MuxVersion = 2
+
+// Feature bits exchanged in Hello/HelloAck. A feature is live on a
+// connection only when both sides advertised it.
+const (
+	// FeatureBatch: the server understands TypeSegmentBatchRequest.
+	FeatureBatch uint32 = 1 << 0
+)
+
+// MaxBatch bounds the indices in one batch request — enough for any
+// realistic audit (k is typically tens of rounds), small enough that a
+// hostile count cannot balloon server memory.
+const MaxBatch = 1 << 16
+
+// muxHdrLen is the v2 frame header size: u32 length, u8 type, u32 stream.
+const muxHdrLen = 9
+
+// helloMagic opens every Hello payload so a stray v1 frame of type 8 can
+// never be mistaken for a negotiation attempt.
+var helloMagic = [4]byte{'G', 'P', 'M', 'X'}
+
+// AppendMuxFrame appends one encoded v2 frame to dst and returns the
+// extended slice. It is the allocation-free building block the writer
+// paths use to coalesce several frames into a single write.
+func AppendMuxFrame(dst []byte, typ byte, stream uint32, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrame {
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [muxHdrLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	binary.BigEndian.PutUint32(hdr[5:], stream)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// WriteMuxFrame writes one v2 frame as a single Write call (header and
+// payload staged through a pooled buffer, so a frame is never split
+// across two syscalls the way v1 WriteFrame splits header and payload).
+func WriteMuxFrame(w io.Writer, typ byte, stream uint32, payload []byte) error {
+	buf, err := AppendMuxFrame(GetBuffer(0)[:0], typ, stream, payload)
+	if err != nil {
+		PutBuffer(buf)
+		return err
+	}
+	_, werr := w.Write(buf)
+	PutBuffer(buf)
+	if werr != nil {
+		return fmt.Errorf("write mux frame: %w", werr)
+	}
+	return nil
+}
+
+// ReadMuxFrame reads one v2 frame. The payload is drawn from the frame
+// buffer pool: hand it back with PutBuffer after decoding, and do not
+// retain it (every Decode* helper copies what it keeps).
+func ReadMuxFrame(r io.Reader) (typ byte, stream uint32, payload []byte, err error) {
+	var hdr [muxHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("read mux header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	stream = binary.BigEndian.Uint32(hdr[5:])
+	payload = GetBuffer(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutBuffer(payload)
+		return 0, 0, nil, fmt.Errorf("read mux payload: %w", err)
+	}
+	return hdr[4], stream, payload, nil
+}
+
+// Hello is the client's negotiation opener, always sent v1-framed.
+type Hello struct {
+	MaxVersion uint16
+	Features   uint32
+}
+
+// Encode serialises the hello.
+func (m Hello) Encode() []byte {
+	out := make([]byte, 4+2+4)
+	copy(out, helloMagic[:])
+	binary.BigEndian.PutUint16(out[4:], m.MaxVersion)
+	binary.BigEndian.PutUint32(out[6:], m.Features)
+	return out
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(b []byte) (Hello, error) {
+	if len(b) != 10 || string(b[:4]) != string(helloMagic[:]) {
+		return Hello{}, fmt.Errorf("%w: bad hello", ErrMalformed)
+	}
+	return Hello{
+		MaxVersion: binary.BigEndian.Uint16(b[4:]),
+		Features:   binary.BigEndian.Uint32(b[6:]),
+	}, nil
+}
+
+// HelloAck is the server's negotiation answer, also v1-framed; every
+// frame after it uses the mux framing.
+type HelloAck struct {
+	Version  uint16
+	Features uint32
+}
+
+// Encode serialises the ack.
+func (m HelloAck) Encode() []byte {
+	out := make([]byte, 2+4)
+	binary.BigEndian.PutUint16(out, m.Version)
+	binary.BigEndian.PutUint32(out[2:], m.Features)
+	return out
+}
+
+// DecodeHelloAck parses a HelloAck payload.
+func DecodeHelloAck(b []byte) (HelloAck, error) {
+	if len(b) != 6 {
+		return HelloAck{}, fmt.Errorf("%w: bad hello ack", ErrMalformed)
+	}
+	return HelloAck{
+		Version:  binary.BigEndian.Uint16(b),
+		Features: binary.BigEndian.Uint32(b[2:]),
+	}, nil
+}
+
+// SegmentBatchRequest asks for many segments of one file on a single
+// stream: the server answers with exactly len(Indices) frames in order,
+// which is what lets a verifier flush all k round challenges at once and
+// time each response on arrival.
+type SegmentBatchRequest struct {
+	FileID  string
+	Indices []uint64
+}
+
+// Encode serialises the batch request.
+func (m SegmentBatchRequest) Encode() []byte {
+	id := []byte(m.FileID)
+	out := make([]byte, 2+len(id)+4+8*len(m.Indices))
+	binary.BigEndian.PutUint16(out, uint16(len(id)))
+	copy(out[2:], id)
+	off := 2 + len(id)
+	binary.BigEndian.PutUint32(out[off:], uint32(len(m.Indices)))
+	off += 4
+	for _, idx := range m.Indices {
+		binary.BigEndian.PutUint64(out[off:], idx)
+		off += 8
+	}
+	return out
+}
+
+// DecodeSegmentBatchRequest parses a SegmentBatchRequest payload.
+func DecodeSegmentBatchRequest(b []byte) (SegmentBatchRequest, error) {
+	if len(b) < 2 {
+		return SegmentBatchRequest{}, fmt.Errorf("%w: short batch request", ErrMalformed)
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	if len(b) < 2+n+4 {
+		return SegmentBatchRequest{}, fmt.Errorf("%w: batch request length %d for id length %d", ErrMalformed, len(b), n)
+	}
+	count := binary.BigEndian.Uint32(b[2+n:])
+	if count == 0 || count > MaxBatch {
+		return SegmentBatchRequest{}, fmt.Errorf("%w: batch of %d indices", ErrMalformed, count)
+	}
+	if len(b) != 2+n+4+8*int(count) {
+		return SegmentBatchRequest{}, fmt.Errorf("%w: batch request length %d for %d indices", ErrMalformed, len(b), count)
+	}
+	req := SegmentBatchRequest{
+		FileID:  string(b[2 : 2+n]),
+		Indices: make([]uint64, count),
+	}
+	off := 2 + n + 4
+	for i := range req.Indices {
+		req.Indices[i] = binary.BigEndian.Uint64(b[off:])
+		off += 8
+	}
+	return req, nil
+}

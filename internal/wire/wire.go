@@ -1,8 +1,3 @@
-// Package wire defines the length-prefixed binary framing GeoProof peers
-// speak over TCP: fixed 5-byte header (uint32 length + 1-byte type)
-// followed by the payload. Payload encodings are hand-rolled with
-// encoding/binary — no reflection, no allocation surprises, and malformed
-// input surfaces as typed errors rather than panics.
 package wire
 
 import (
@@ -12,15 +7,21 @@ import (
 	"io"
 )
 
-// Frame types.
+// Frame types. 1-7 predate the mux protocol and appear in both framings;
+// 8+ were introduced with it (Hello/HelloAck travel v1-framed during
+// negotiation, the rest are mux-only).
 const (
-	TypeSegmentRequest   byte = 1
-	TypeSegmentResponse  byte = 2
-	TypeError            byte = 3
-	TypePing             byte = 4
-	TypePong             byte = 5
-	TypeAuditRequest     byte = 6
-	TypeSignedTranscript byte = 7
+	TypeSegmentRequest      byte = 1
+	TypeSegmentResponse     byte = 2
+	TypeError               byte = 3
+	TypePing                byte = 4
+	TypePong                byte = 5
+	TypeAuditRequest        byte = 6
+	TypeSignedTranscript    byte = 7
+	TypeHello               byte = 8
+	TypeHelloAck            byte = 9
+	TypeSegmentBatchRequest byte = 10
+	TypeStreamAbort         byte = 11
 )
 
 // MaxFrame bounds a frame payload (16 MiB): far beyond any legitimate
@@ -53,7 +54,8 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame. The payload is freshly allocated and owned
+// by the caller; hot paths that recycle payloads use ReadFramePooled.
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -65,6 +67,27 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("read payload: %w", err)
+	}
+	return hdr[4], payload, nil
+}
+
+// ReadFramePooled is ReadFrame with the payload drawn from the frame
+// buffer pool: the caller must hand the payload back with PutBuffer once
+// it is done (after decoding — every Decode* helper copies what it
+// keeps), and must not retain it past that.
+func ReadFramePooled(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload = GetBuffer(int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutBuffer(payload)
 		return 0, nil, fmt.Errorf("read payload: %w", err)
 	}
 	return hdr[4], payload, nil

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"context"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/disk"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/por"
+)
+
+// transportFixture stands up a loopback prover serving one encoded file
+// and a wall-clock verifier, shared by the transport smoke test and
+// BenchmarkAuditThroughput.
+type transportFixture struct {
+	addr     string
+	fileID   string
+	indices  []uint64
+	req      core.AuditRequest
+	verifier *core.Verifier
+	stop     func()
+}
+
+func newTransportFixture(tb testing.TB, k int) *transportFixture {
+	tb.Helper()
+	enc := por.NewEncoder([]byte("transport-master"))
+	ef, err := enc.Encode("transport-file", benchData(256<<10))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	site := cloud.NewSite(cloud.DataCenter{Name: "bne", Position: geo.Brisbane, Disk: disk.WD2500JD}, 1)
+	site.Store(ef.FileID, ef.Layout, ef.Data)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := &core.ProverServer{Provider: &cloud.HonestProvider{Site: site}}
+	go srv.Serve(lis)
+
+	signer, err := crypt.NewSigner()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	verifier, err := core.NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	nonce := []byte("transport-nonce!")
+	indices, err := core.DeriveIndices(nonce, ef.Layout.Segments, k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return &transportFixture{
+		addr:     lis.Addr().String(),
+		fileID:   ef.FileID,
+		indices:  indices,
+		req:      core.AuditRequest{FileID: ef.FileID, NumSegments: ef.Layout.Segments, K: k, Nonce: nonce},
+		verifier: verifier,
+		stop:     func() { srv.Close() },
+	}
+}
+
+// auditRate runs serial audits through fn for the budget (min 5) and
+// returns audits/s.
+func auditRate(tb testing.TB, budget time.Duration, fn func() error) float64 {
+	tb.Helper()
+	start := time.Now()
+	n := 0
+	for time.Since(start) < budget || n < 5 {
+		if err := fn(); err != nil {
+			tb.Fatal(err)
+		}
+		n++
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+func (f *transportFixture) dialAudit() error {
+	conn, err := core.DialProver(f.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = f.verifier.RunAudit(context.Background(), f.req, conn)
+	return err
+}
+
+func (f *transportFixture) dialAuditAt(addr string) error {
+	conn, err := core.DialProver(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = f.verifier.RunAudit(context.Background(), f.req, conn)
+	return err
+}
+
+func pooledAudit(f *transportFixture, pool *core.ProverPool, addr string) error {
+	conn, release, err := pool.Get(addr)
+	if err != nil {
+		return err
+	}
+	_, err = f.verifier.RunAudit(context.Background(), f.req, conn)
+	release(err)
+	return err
+}
+
+// TestTransportSmoke is the CI loopback comparison of dial-per-audit vs
+// the pooled mux transport. The ratio assertions are timing-sensitive, so
+// they only arm when GEOPROOF_TRANSPORT_SMOKE=1 (set by the CI smoke
+// step); a plain `go test ./...` runs a single functional audit per path
+// and skips the rates.
+func TestTransportSmoke(t *testing.T) {
+	fx := newTransportFixture(t, 24)
+	defer fx.stop()
+	pool := &core.ProverPool{DialTimeout: 5 * time.Second}
+	defer pool.Close()
+
+	// Functional pass for both transports, always.
+	if err := fx.dialAudit(); err != nil {
+		t.Fatalf("dial-per-audit path: %v", err)
+	}
+	if err := pooledAudit(fx, pool, fx.addr); err != nil {
+		t.Fatalf("pooled mux path: %v", err)
+	}
+
+	if os.Getenv("GEOPROOF_TRANSPORT_SMOKE") == "" {
+		t.Skip("set GEOPROOF_TRANSPORT_SMOKE=1 for the throughput-ratio assertions")
+	}
+
+	// Loopback: no propagation delay, so the ratio is bounded by syscall
+	// and dial overhead alone. Expect ~5×; assert a conservative 2×.
+	dialRate := auditRate(t, 250*time.Millisecond, fx.dialAudit)
+	muxRate := auditRate(t, 250*time.Millisecond, func() error { return pooledAudit(fx, pool, fx.addr) })
+	t.Logf("loopback: dial %.0f audits/s, pooled mux %.0f audits/s (x%.1f)", dialRate, muxRate, muxRate/dialRate)
+	if muxRate < 2*dialRate {
+		t.Errorf("loopback pooled mux %.0f audits/s not ≥2x dial %.0f audits/s", muxRate, dialRate)
+	}
+
+	// Emulated 2 ms WAN RTT: serial request/response pays the RTT every
+	// round, the pipelined batch once — the regime the mux transport is
+	// for. Expect ~(k+1)× ≈ 22×; assert a conservative 8×.
+	wanAddr, stopProxy, err := experiments.DelayProxy(fx.addr, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopProxy()
+	wanPool := &core.ProverPool{DialTimeout: 5 * time.Second}
+	defer wanPool.Close()
+	wanDial := auditRate(t, 300*time.Millisecond, func() error { return fx.dialAuditAt(wanAddr) })
+	wanMux := auditRate(t, 300*time.Millisecond, func() error { return pooledAudit(fx, wanPool, wanAddr) })
+	t.Logf("2ms WAN: dial %.1f audits/s, pooled mux %.1f audits/s (x%.1f)", wanDial, wanMux, wanMux/wanDial)
+	if wanMux < 8*wanDial {
+		t.Errorf("WAN pooled mux %.1f audits/s not ≥8x dial %.1f audits/s", wanMux, wanDial)
+	}
+}
