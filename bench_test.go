@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -154,6 +155,71 @@ func BenchmarkAuditThroughput(b *testing.B) {
 	defer pool.Close()
 	run("loopback/dial-v1", fx.dialAudit)
 	run("loopback/pooled-mux", func() error { return pooledAudit(fx, pool, fx.addr) })
+
+	// Amortized transcript authentication: the full signed-audit path —
+	// timed rounds, transcript attestation, TPA verification — at width
+	// 16 over pooled mux connections. "solo" pays one ECDSA sign
+	// (verifier) plus one ECDSA verify (TPA) per audit; "batch"
+	// accumulates the in-flight window's transcript digests into one
+	// Merkle tree, signs only the root, and the TPA verifies each
+	// distinct root once (then a SHA-256 inclusion check per
+	// transcript), so the asymmetric crypto amortizes across the window.
+	// These run at k=8 — the short-audit regime where the per-audit
+	// ECDSA pair is the cap the batching exists to break (at k=24 the
+	// timed rounds themselves dominate and the gap narrows to ~2.7×).
+	const width = 16
+	sfx := newTransportFixture(b, 8)
+	defer sfx.stop()
+	spool := &core.ProverPool{DialTimeout: 5 * time.Second}
+	defer spool.Close()
+	runWide := func(name string, v *core.Verifier) {
+		b.Run(name, func(b *testing.B) {
+			tpa := sfx.newTPA(b)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			errs := make(chan error, width)
+			b.ResetTimer()
+			for w := 0; w < width; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					conn, release, err := spool.Get(sfx.addr)
+					if err != nil {
+						errs <- err
+						return
+					}
+					var werr error
+					for next.Add(1) <= int64(b.N) {
+						st, err := v.RunAudit(context.Background(), sfx.req, conn)
+						if err != nil {
+							werr = err
+							break
+						}
+						if rep := tpa.VerifyAudit(sfx.req, sfx.layout, st); !rep.Accepted {
+							werr = fmt.Errorf("audit rejected: %s", rep.Reason())
+							break
+						}
+					}
+					release(werr)
+					if werr != nil {
+						errs <- werr
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "audits/s")
+		})
+	}
+	runWide("loopback-k8/signed-w16-solo", sfx.verifier)
+	bs := crypt.NewBatchSigner(sfx.signer, crypt.BatchSignerOptions{
+		MaxBatch: width, MaxLatency: 2 * time.Millisecond,
+	})
+	defer bs.Close()
+	runWide("loopback-k8/signed-w16-batch", sfx.verifier.WithBatchSigner(bs))
 
 	wanAddr, stopProxy, err := experiments.DelayProxy(fx.addr, 2*time.Millisecond)
 	if err != nil {

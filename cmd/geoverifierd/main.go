@@ -78,6 +78,11 @@ func run() error {
 	workers := flag.Int("j", 0, "concurrent audits across all provers, 0 = NumCPU (audit mode)")
 	transport := flag.String("transport", "pooled", "prover transport: pooled (persistent mux conns) or dial (one dial per audit)")
 	conns := flag.Int("conns", 1, "warm pooled connections per prover (audit mode, -transport pooled)")
+	batchSign := flag.Bool("batchsign", false,
+		"amortize transcript signing: Merkle-batch transcript digests and sign one root per batch "+
+			"(daemon mode: offered to TPAs that negotiate it; audit mode: used by the in-process verifier)")
+	batchMax := flag.Int("batch-max", 64, "transcripts per signed batch (-batchsign)")
+	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "max wait before a partial batch is signed (-batchsign)")
 	policies := map[string]core.ProverPolicy{}
 	flag.Func("policy",
 		"per-prover policy override, repeatable: addr=window=N,timeout=D,retries=N,backoff=D "+
@@ -101,8 +106,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var batcher *crypt.BatchSigner
+	if *batchSign {
+		batcher = crypt.NewBatchSigner(signer, crypt.BatchSignerOptions{
+			MaxBatch: *batchMax, MaxLatency: *batchLatency,
+		})
+		defer batcher.Close()
+	}
 
 	if *audit {
+		if batcher != nil {
+			verifier = verifier.WithBatchSigner(batcher)
+		}
 		targets := *provers
 		if targets == "" {
 			targets = *prover
@@ -133,6 +148,10 @@ func run() error {
 		DialProver: func() (core.ProverConn, error) {
 			return core.DialMuxProver(*prover, 5*time.Second)
 		},
+		// Offered per connection: TPAs that negotiate batch attestation
+		// share one root signature per batch, old TPAs keep getting
+		// per-transcript signatures.
+		BatchSigner: batcher,
 	}
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -371,6 +390,9 @@ func printLedger(l *core.AuditLedger) {
 		line := fmt.Sprintf("    %-24s audits=%d ok=%d rejected=%d timeout=%d error=%d maxRTT=%v",
 			row.Name, row.Audits, row.Accepted, row.Rejected, row.Timeouts, row.Errors,
 			row.MaxRTT.Round(time.Microsecond))
+		if row.BatchAttested > 0 {
+			line += fmt.Sprintf(" attested=%d batch/%d solo", row.BatchAttested, row.SoloAttested)
+		}
 		if row.LastReason != "" {
 			line += " last: " + row.LastReason
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/geo"
+	"repro/internal/merkle"
 	"time"
 )
 
@@ -127,10 +128,23 @@ func UnmarshalTranscript(b []byte) (Transcript, error) {
 	return t, nil
 }
 
-// EncodeSignedTranscript serialises transcript ‖ signature.
+// EncodeSignedTranscript serialises transcript ‖ signature, followed by
+// an optional length-prefixed batch-attestation section when the
+// transcript is batch-attested. The attestation section is only ever
+// produced for peers that negotiated wire.FeatureBatchSign, so old
+// decoders (which reject trailing bytes) never see it. A transcript
+// that already carries its canonical encoding (finishAudit, decode) is
+// not re-marshaled.
 func EncodeSignedTranscript(st SignedTranscript) []byte {
-	tb := st.Transcript.Marshal()
-	out := make([]byte, 0, 8+len(tb)+len(st.Signature))
+	tb := st.raw
+	if tb == nil {
+		tb = st.Transcript.Marshal()
+	}
+	var att []byte
+	if st.Batch != nil {
+		att = EncodeBatchAttestation(*st.Batch)
+	}
+	out := make([]byte, 0, 12+len(tb)+len(st.Signature)+len(att))
 	var l [4]byte
 	binary.BigEndian.PutUint32(l[:], uint32(len(tb)))
 	out = append(out, l[:]...)
@@ -138,10 +152,16 @@ func EncodeSignedTranscript(st SignedTranscript) []byte {
 	binary.BigEndian.PutUint32(l[:], uint32(len(st.Signature)))
 	out = append(out, l[:]...)
 	out = append(out, st.Signature...)
+	if att != nil {
+		binary.BigEndian.PutUint32(l[:], uint32(len(att)))
+		out = append(out, l[:]...)
+		out = append(out, att...)
+	}
 	return out
 }
 
-// DecodeSignedTranscript parses EncodeSignedTranscript's output.
+// DecodeSignedTranscript parses EncodeSignedTranscript's output,
+// including the optional batch-attestation section.
 func DecodeSignedTranscript(b []byte) (SignedTranscript, error) {
 	r := &byteReader{b: b}
 	tb, err := r.lenPrefixed()
@@ -156,10 +176,107 @@ func DecodeSignedTranscript(b []byte) (SignedTranscript, error) {
 	if err != nil {
 		return SignedTranscript{}, err
 	}
+	st := SignedTranscript{Transcript: tr, raw: append([]byte{}, tb...)}
+	if len(sig) > 0 {
+		st.Signature = append([]byte{}, sig...)
+	}
+	if r.off != len(b) {
+		ab, err := r.lenPrefixed()
+		if err != nil {
+			return SignedTranscript{}, err
+		}
+		att, err := DecodeBatchAttestation(ab)
+		if err != nil {
+			return SignedTranscript{}, err
+		}
+		st.Batch = &att
+	}
 	if r.off != len(b) {
 		return SignedTranscript{}, fmt.Errorf("%w: trailing bytes", ErrBadTranscript)
 	}
-	return SignedTranscript{Transcript: tr, Signature: append([]byte{}, sig...)}, nil
+	return st, nil
+}
+
+// maxProofSteps bounds an attestation's Merkle path length. A path of
+// 64 steps would imply 2^64 transcripts under one root; anything longer
+// is malformed, and the bound keeps decode allocation proportional to
+// honest input.
+const maxProofSteps = 64
+
+// EncodeBatchAttestation serialises a batch attestation:
+// root ‖ len(sig) ‖ sig ‖ leaf index ‖ step count ‖ steps, each step an
+// orientation flag byte plus the 32-byte sibling hash.
+func EncodeBatchAttestation(att BatchAttestation) []byte {
+	out := make([]byte, 0, 32+4+len(att.RootSig)+8+33*len(att.Proof.Steps))
+	out = append(out, att.Root[:]...)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(att.RootSig)))
+	out = append(out, l[:]...)
+	out = append(out, att.RootSig...)
+	binary.BigEndian.PutUint32(l[:], uint32(att.Proof.Index))
+	out = append(out, l[:]...)
+	binary.BigEndian.PutUint32(l[:], uint32(len(att.Proof.Steps)))
+	out = append(out, l[:]...)
+	for _, s := range att.Proof.Steps {
+		if s.Left {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = append(out, s.Sibling[:]...)
+	}
+	return out
+}
+
+// DecodeBatchAttestation parses EncodeBatchAttestation's output. The
+// decode is canonical: re-encoding the result yields identical bytes.
+func DecodeBatchAttestation(b []byte) (BatchAttestation, error) {
+	r := &byteReader{b: b}
+	var att BatchAttestation
+	root, err := r.take(32)
+	if err != nil {
+		return att, err
+	}
+	copy(att.Root[:], root)
+	sig, err := r.lenPrefixed()
+	if err != nil {
+		return att, err
+	}
+	att.RootSig = append([]byte{}, sig...)
+	idx, err := r.u32()
+	if err != nil {
+		return att, err
+	}
+	att.Proof.Index = int(idx)
+	nSteps, err := r.u32()
+	if err != nil {
+		return att, err
+	}
+	if nSteps > maxProofSteps {
+		return att, fmt.Errorf("%w: %d proof steps", ErrBadTranscript, nSteps)
+	}
+	if nSteps > 0 {
+		att.Proof.Steps = make([]merkle.ProofStep, nSteps)
+	}
+	for i := range att.Proof.Steps {
+		flag, err := r.take(1)
+		if err != nil {
+			return att, err
+		}
+		if flag[0] > 1 {
+			return att, fmt.Errorf("%w: step flag %#x", ErrBadTranscript, flag[0])
+		}
+		sib, err := r.take(32)
+		if err != nil {
+			return att, err
+		}
+		att.Proof.Steps[i].Left = flag[0] == 1
+		copy(att.Proof.Steps[i].Sibling[:], sib)
+	}
+	if r.off != len(b) {
+		return att, fmt.Errorf("%w: trailing attestation bytes", ErrBadTranscript)
+	}
+	return att, nil
 }
 
 // EncodeAuditRequest serialises an audit request for the TPA→verifier

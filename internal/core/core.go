@@ -14,6 +14,7 @@ import (
 	"repro/internal/crypt"
 	"repro/internal/geo"
 	"repro/internal/gps"
+	"repro/internal/merkle"
 	"repro/internal/vclock"
 )
 
@@ -112,13 +113,67 @@ func (t Transcript) Marshal() []byte {
 }
 
 // Digest returns the SHA-256 digest of the canonical encoding; useful for
-// logging and deduplication.
+// logging and deduplication. In batch-signing mode this digest is also
+// the Merkle leaf the verifier commits to.
 func (t Transcript) Digest() [32]byte { return sha256.Sum256(t.Marshal()) }
 
-// SignedTranscript is the verifier's final message to the TPA.
+// BatchAttestation authenticates a transcript through a batch-signed
+// Merkle root instead of a per-transcript signature: the verifier signed
+// Root (domain-separated, crypt.SignBatchRoot) and Proof ties the
+// transcript's digest to Root at leaf Proof.Index. The TPA verifies the
+// root signature once per batch and one SHA-256 path per transcript.
+type BatchAttestation struct {
+	Root    merkle.Hash
+	RootSig []byte
+	Proof   merkle.Proof
+}
+
+// SignedTranscript is the verifier's final message to the TPA. Exactly
+// one attestation form is populated: Signature (per-transcript ECDSA
+// over the canonical transcript encoding) or Batch (root signature +
+// inclusion proof). When both are somehow present, Batch wins.
 type SignedTranscript struct {
 	Transcript Transcript
 	Signature  []byte
+	Batch      *BatchAttestation
+
+	// raw caches the canonical transcript encoding on the producer/wire
+	// side (finishAudit, codec decode) so signing, leaf digesting and
+	// wire encoding marshal once. Verification never trusts it: a caller
+	// may mutate Transcript after the cache was taken, and the TPA's
+	// verdict must follow the bytes it re-marshals itself.
+	raw []byte
+}
+
+// AttestationMode names which attestation form a verdict was produced
+// from.
+type AttestationMode uint8
+
+// Attestation modes recorded in reports and the scheduler's ledger.
+const (
+	AttestNone          AttestationMode = iota // no transcript (timeout/error verdicts)
+	AttestPerTranscript                        // §V-B per-transcript ECDSA signature
+	AttestBatch                                // Merkle-batched root signature + inclusion proof
+)
+
+// String returns the ledger-facing name of the mode.
+func (m AttestationMode) String() string {
+	switch m {
+	case AttestPerTranscript:
+		return "per-transcript"
+	case AttestBatch:
+		return "batch"
+	default:
+		return "none"
+	}
+}
+
+// Mode reports the transcript's attestation form.
+func (st SignedTranscript) Mode() AttestationMode {
+	if st.Batch != nil {
+		return AttestBatch
+	}
+	return AttestPerTranscript
 }
 
 // ProverConn is the verifier's channel to the prover. Implementations
@@ -162,6 +217,7 @@ type Verifier struct {
 	signer *crypt.Signer
 	gps    *gps.Receiver
 	clock  vclock.Clock
+	batch  *crypt.BatchSigner
 }
 
 // NewVerifier assembles a verifier device. A nil clock defaults to the
@@ -179,6 +235,19 @@ func NewVerifier(signer *crypt.Signer, receiver *gps.Receiver, clock vclock.Cloc
 // Public returns the verifier's verification key, registered with the TPA
 // at installation time.
 func (v *Verifier) Public() *crypt.Signer { return v.signer }
+
+// WithBatchSigner returns a copy of the verifier whose finishAudit
+// enqueues transcript digests into bs instead of signing each
+// transcript inline — the batch amortizes one P-256 signature over
+// every audit that lands inside the batcher's size/latency window. A
+// nil bs returns a copy that signs per transcript. The copy shares the
+// device's key, GPS receiver and clock, so timing semantics are
+// untouched: only the attestation form changes.
+func (v *Verifier) WithBatchSigner(bs *crypt.BatchSigner) *Verifier {
+	w := *v
+	w.batch = bs
+	return &w
+}
 
 // RunAudit executes the distance-bounding phase: it derives the challenge
 // indices from the nonce, requests each segment over conn while timing
@@ -250,7 +319,11 @@ func (v *Verifier) RunAudit(ctx context.Context, req AuditRequest, conn ProverCo
 	return v.finishAudit(req, rounds)
 }
 
-// finishAudit attaches the GPS fix and signs the completed rounds.
+// finishAudit attaches the GPS fix and attests the completed rounds:
+// per-transcript signature by default, batch enqueue when a
+// crypt.BatchSigner is attached. The transcript is marshaled exactly
+// once — the same buffer feeds the signature (or the batch leaf digest)
+// and is cached for wire encoding.
 func (v *Verifier) finishAudit(req AuditRequest, rounds []AuditRound) (SignedTranscript, error) {
 	tr := Transcript{
 		FileID:   req.FileID,
@@ -258,11 +331,23 @@ func (v *Verifier) finishAudit(req AuditRequest, rounds []AuditRound) (SignedTra
 		Position: v.gps.Fix(),
 		Rounds:   rounds,
 	}
-	sig, err := v.signer.Sign(tr.Marshal())
+	raw := tr.Marshal()
+	if v.batch != nil {
+		att, err := v.batch.Sign(sha256.Sum256(raw))
+		if err != nil {
+			return SignedTranscript{}, fmt.Errorf("batch-sign transcript: %w", err)
+		}
+		return SignedTranscript{
+			Transcript: tr,
+			Batch:      &BatchAttestation{Root: att.Root, RootSig: att.Sig, Proof: att.Proof},
+			raw:        raw,
+		}, nil
+	}
+	sig, err := v.signer.Sign(raw)
 	if err != nil {
 		return SignedTranscript{}, fmt.Errorf("sign transcript: %w", err)
 	}
-	return SignedTranscript{Transcript: tr, Signature: sig}, nil
+	return SignedTranscript{Transcript: tr, Signature: sig, raw: raw}, nil
 }
 
 // NonceEqual compares nonces in constant time.

@@ -50,6 +50,30 @@
 // from a ProverPool) and RemoteRunner (remote verifier daemon, optionally
 // pooled via VerifierPool).
 //
+// # Transcript attestation
+//
+// A SignedTranscript carries one of two attestation forms (Mode). The
+// classic form is a per-transcript ECDSA signature over the canonical
+// transcript bytes. The amortized form (BatchAttestation, produced by a
+// Verifier configured WithBatchSigner) replaces it with a signature
+// over a Merkle root covering a whole window of concurrent audits plus
+// this transcript's inclusion proof — same trust argument, one
+// asymmetric signature per window instead of per audit (see
+// crypt/doc.go). Verification mirrors that split: the TPA verifies each
+// distinct root's signature once (a small LRU of verified roots makes
+// the rest of the window cache hits, and VerifyAudits groups jobs by
+// root even past the cache) and then checks one SHA-256 inclusion path
+// per transcript. Everything downstream of step 1 — position, MACs,
+// min-RTT timing, rejection semantics — is identical in both modes, and
+// each Report and LedgerEntry records which attestation mode vouched
+// for the verdict.
+//
+// Batch attestation is feature-negotiated on the TPA→verifier-daemon
+// leg: DialVerifier opens with a Hello advertising FeatureBatchSign,
+// a daemon running a BatchSigner acks it, and anything else (an old
+// daemon, a daemon without -batchsign) falls back to per-transcript
+// signatures — old TPAs and old daemons interoperate unchanged.
+//
 // # Cancellation
 //
 // A context.Context threads the whole audit path — RunEpoch →

@@ -256,6 +256,12 @@ type LedgerEntry struct {
 	Rejected int
 	Timeouts int
 	Errors   int
+	// BatchAttested / SoloAttested count the verified verdicts (accepted
+	// or rejected) by the attestation mode that produced them, so an
+	// operator can see whether amortized signing is actually engaged.
+	// Every verified verdict lands in exactly one of the two.
+	BatchAttested int
+	SoloAttested  int
 	// MaxRTT is the worst round-trip time any verified transcript in this
 	// cell reported.
 	MaxRTT time.Duration
@@ -271,6 +277,8 @@ func (e *LedgerEntry) merge(o LedgerEntry) {
 	e.Rejected += o.Rejected
 	e.Timeouts += o.Timeouts
 	e.Errors += o.Errors
+	e.BatchAttested += o.BatchAttested
+	e.SoloAttested += o.SoloAttested
 	if o.MaxRTT > e.MaxRTT {
 		e.MaxRTT = o.MaxRTT
 	}
@@ -294,6 +302,14 @@ func (e *LedgerEntry) add(v Verdict) {
 	case OutcomeError:
 		e.Errors++
 		e.LastReason = v.Err
+	}
+	if v.Outcome == OutcomeAccepted || v.Outcome == OutcomeRejected {
+		switch v.Report.Attestation {
+		case AttestBatch:
+			e.BatchAttested++
+		default:
+			e.SoloAttested++
+		}
 	}
 	if v.Report.MaxRTT > e.MaxRTT {
 		e.MaxRTT = v.Report.MaxRTT

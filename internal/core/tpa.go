@@ -1,18 +1,25 @@
 package core
 
 import (
+	"bytes"
+	"container/list"
 	"crypto/ecdsa"
 	"crypto/rand"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blockfile"
 	"repro/internal/cloud"
 	"repro/internal/crypt"
 	"repro/internal/geo"
+	"repro/internal/merkle"
 	"repro/internal/parallel"
 	"repro/internal/por"
 )
@@ -56,6 +63,11 @@ type Report struct {
 	MACsOK      bool
 	TimingOK    bool
 
+	// Attestation records which authentication form produced
+	// SignatureOK: the per-transcript ECDSA signature or a batch root
+	// signature plus Merkle inclusion proof.
+	Attestation AttestationMode
+
 	SegmentsOK   int
 	SegmentsBad  int
 	FailedRounds int
@@ -78,6 +90,11 @@ type TPA struct {
 	enc    *por.Encoder
 	pub    *ecdsa.PublicKey
 	policy Policy
+	// roots caches batch roots whose signature already verified, so a
+	// batch of transcripts costs one ECDSA verify plus cheap SHA-256
+	// inclusion checks. Pointer field: VerifyAudits copies the TPA and
+	// the copy must share (and lock) the same cache.
+	roots *rootCache
 }
 
 // NewTPA constructs an auditor.
@@ -88,7 +105,85 @@ func NewTPA(enc *por.Encoder, verifierKey *ecdsa.PublicKey, policy Policy) (*TPA
 	if policy.TMax <= 0 {
 		return nil, errors.New("core: policy TMax must be positive")
 	}
-	return &TPA{enc: enc, pub: verifierKey, policy: policy}, nil
+	return &TPA{enc: enc, pub: verifierKey, policy: policy, roots: newRootCache(rootCacheSize)}, nil
+}
+
+// rootCacheSize bounds the verified-root LRU. A root covers a whole
+// batch of transcripts, so even a fleet-wide sweep touches few distinct
+// roots; 256 keeps the cache a few KiB while making eviction churn from
+// an attacker spamming garbage roots irrelevant (garbage never enters —
+// only roots whose signature verified are cached).
+const rootCacheSize = 256
+
+// rootCache is a mutex-guarded bounded LRU of batch roots with a valid
+// verifier signature. Caching the root (not the signature bytes) is
+// sound: once any signature over root R verifies, R is known to be
+// verifier-committed, and each transcript still has to prove Merkle
+// membership in R.
+type rootCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent; values are merkle.Hash
+	index map[merkle.Hash]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+func newRootCache(capacity int) *rootCache {
+	return &rootCache{cap: capacity, ll: list.New(), index: make(map[merkle.Hash]*list.Element, capacity)}
+}
+
+// verified reports whether root is cached as signature-checked, marking
+// it most recently used.
+func (c *rootCache) verified(root merkle.Hash) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[root]
+	if ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ok
+}
+
+// add records a signature-checked root, evicting the least recently
+// used entry past capacity.
+func (c *rootCache) add(root merkle.Hash) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[root]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[root] = c.ll.PushFront(root)
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		delete(c.index, last.Value.(merkle.Hash))
+		c.ll.Remove(last)
+	}
+}
+
+// verifyAttestation runs check 1 of §V-B for either attestation form
+// and returns the mode plus whether it held. raw is the canonical
+// transcript encoding, re-marshaled by the caller (never the producer's
+// cache — verification must follow the bytes presented).
+func (a *TPA) verifyAttestation(raw []byte, st SignedTranscript) (AttestationMode, bool) {
+	if st.Batch == nil {
+		return AttestPerTranscript, crypt.Verify(a.pub, raw, st.Signature) == nil
+	}
+	b := st.Batch
+	if a.roots == nil || !a.roots.verified(b.Root) {
+		if crypt.VerifyBatchRoot(a.pub, b.Root, b.RootSig) != nil {
+			return AttestBatch, false
+		}
+		if a.roots != nil {
+			a.roots.add(b.Root)
+		}
+	}
+	digest := sha256.Sum256(raw)
+	return AttestBatch, merkle.Verify(b.Root, digest[:], b.Proof) == nil
 }
 
 // Policy returns the acceptance policy in force.
@@ -120,8 +215,10 @@ func (a *TPA) VerifyAudit(req AuditRequest, layout blockfile.Layout, st SignedTr
 	rep := Report{}
 	tr := st.Transcript
 
-	// 1. Signature.
-	if err := crypt.Verify(a.pub, tr.Marshal(), st.Signature); err == nil {
+	// 1. Signature — per-transcript, or batch root + inclusion proof.
+	var ok bool
+	rep.Attestation, ok = a.verifyAttestation(tr.Marshal(), st)
+	if ok {
 		rep.SignatureOK = true
 	} else {
 		rep.Reasons = append(rep.Reasons, "transcript signature invalid")
@@ -238,12 +335,32 @@ type AuditJob struct {
 // is spent entirely at the job level: each job's segment checks run
 // sequentially so the total worker count stays ≈ Concurrency instead of
 // squaring it.
+//
+// Batch-attested jobs are processed grouped by root (reports still land
+// at their original indices), so each distinct root's ECDSA verify
+// happens once and the rest hit the verified-root cache even when the
+// sweep spans more roots than the cache holds.
 func (a *TPA) VerifyAudits(jobs []AuditJob) []Report {
 	inner := *a
 	inner.enc = a.enc.WithConcurrency(1)
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		jx, jy := jobs[order[x]].Signed.Batch, jobs[order[y]].Signed.Batch
+		switch {
+		case jx == nil || jy == nil:
+			// Per-transcript jobs keep their relative order at the end.
+			return jy == nil && jx != nil
+		default:
+			return bytes.Compare(jx.Root[:], jy.Root[:]) < 0
+		}
+	})
 	reports := make([]Report, len(jobs))
 	parallel.For(a.enc.Concurrency(), len(jobs), func(i int) error {
-		reports[i] = inner.VerifyAudit(jobs[i].Req, jobs[i].Layout, jobs[i].Signed)
+		j := order[i]
+		reports[j] = inner.VerifyAudit(jobs[j].Req, jobs[j].Layout, jobs[j].Signed)
 		return nil
 	})
 	return reports

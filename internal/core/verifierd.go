@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/crypt"
 	"repro/internal/wire"
 )
 
@@ -23,6 +24,12 @@ type VerifierServer struct {
 	// re-established per request — the initialisation phase is not time
 	// critical (§III-A).
 	DialProver func() (ProverConn, error)
+	// BatchSigner, when set, offers wire.FeatureBatchSign: TPA
+	// connections that negotiate it receive batch-attested transcripts
+	// (one root signature amortized over many audits) instead of
+	// per-transcript signatures. Connections that never send a Hello —
+	// old TPAs — keep the per-transcript path untouched.
+	BatchSigner *crypt.BatchSigner
 
 	mu     sync.Mutex
 	closed bool
@@ -65,6 +72,9 @@ func (s *VerifierServer) Close() error {
 
 func (s *VerifierServer) handle(conn net.Conn) {
 	defer conn.Close()
+	// The per-connection verifier: swapped for a batch-signing copy when
+	// the TPA negotiates wire.FeatureBatchSign.
+	v := s.Verifier
 	for {
 		typ, payload, err := wire.ReadFrame(conn)
 		if err != nil {
@@ -75,6 +85,27 @@ func (s *VerifierServer) handle(conn net.Conn) {
 			if err := wire.WriteFrame(conn, wire.TypePong, nil); err != nil {
 				return
 			}
+		case wire.TypeHello:
+			// Feature negotiation on the TPA leg. Framing stays serial v1
+			// (Version 1 in the ack) — unlike the prover leg, a Hello here
+			// never upgrades to mux, it only switches the attestation form.
+			hello, err := wire.DecodeHello(payload)
+			if err != nil {
+				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
+					return
+				}
+				continue
+			}
+			var features uint32
+			if s.BatchSigner != nil && hello.Features&wire.FeatureBatchSign != 0 {
+				features |= wire.FeatureBatchSign
+				v = s.Verifier.WithBatchSigner(s.BatchSigner)
+			} else {
+				v = s.Verifier
+			}
+			if err := wire.WriteFrame(conn, wire.TypeHelloAck, wire.HelloAck{Version: 1, Features: features}.Encode()); err != nil {
+				return
+			}
 		case wire.TypeAuditRequest:
 			req, err := DecodeAuditRequest(payload)
 			if err != nil {
@@ -83,7 +114,7 @@ func (s *VerifierServer) handle(conn net.Conn) {
 				}
 				continue
 			}
-			st, err := s.runOne(req)
+			st, err := s.runOne(v, req)
 			if err != nil {
 				if werr := wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()); werr != nil {
 					return
@@ -101,7 +132,7 @@ func (s *VerifierServer) handle(conn net.Conn) {
 	}
 }
 
-func (s *VerifierServer) runOne(req AuditRequest) (SignedTranscript, error) {
+func (s *VerifierServer) runOne(v *Verifier, req AuditRequest) (SignedTranscript, error) {
 	pc, err := s.DialProver()
 	if err != nil {
 		return SignedTranscript{}, fmt.Errorf("dial prover: %w", err)
@@ -111,25 +142,58 @@ func (s *VerifierServer) runOne(req AuditRequest) (SignedTranscript, error) {
 	}
 	// The daemon's own deadline discipline is the TPA connection's; the
 	// audit itself runs uncancelled here.
-	return s.Verifier.RunAudit(context.Background(), req, pc)
+	return v.RunAudit(context.Background(), req, pc)
 }
 
 // RemoteVerifier is the TPA-side client of a VerifierServer.
 type RemoteVerifier struct {
-	conn net.Conn
+	conn     net.Conn
+	features uint32
 	// desynced latches when a cancelled context abandoned an audit
 	// mid-exchange; see ErrConnDesynced.
 	desynced atomic.Bool
 }
 
-// DialVerifier connects to a verifier daemon.
+// DialVerifier connects to a verifier daemon and probes its feature set
+// with a v1-framed Hello. A new daemon answers HelloAck with the
+// features it granted (batch attestation, when it runs a BatchSigner);
+// an old daemon answers its usual unknown-frame TypeError and the
+// connection proceeds feature-less — zero-config fallback in both
+// directions, mirroring the prover-leg mux negotiation.
 func DialVerifier(addr string, timeout time.Duration) (*RemoteVerifier, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial verifier: %w", err)
 	}
-	return &RemoteVerifier{conn: conn}, nil
+	r := &RemoteVerifier{conn: conn}
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	hello := wire.Hello{MaxVersion: 1, Features: wire.FeatureBatchSign}
+	if err := wire.WriteFrame(conn, wire.TypeHello, hello.Encode()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("verifier hello: %w", err)
+	}
+	typ, payload, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("verifier hello: %w", err)
+	}
+	if typ == wire.TypeHelloAck {
+		ack, err := wire.DecodeHelloAck(payload)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("verifier hello: %w", err)
+		}
+		r.features = ack.Features
+	}
+	// Any other reply (an old daemon's TypeError) means no features.
+	_ = conn.SetDeadline(time.Time{})
+	return r, nil
 }
+
+// BatchSign reports whether the daemon granted batch attestation.
+func (r *RemoteVerifier) BatchSign() bool { return r.features&wire.FeatureBatchSign != 0 }
 
 // Close closes the TPA↔verifier connection.
 func (r *RemoteVerifier) Close() error { return r.conn.Close() }

@@ -1,0 +1,225 @@
+package crypt
+
+import (
+	"crypto/sha256"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/merkle"
+)
+
+// fakeTimer is the injected AfterFunc seam: it records the armed delay
+// and lets the test fire (or stop) the callback deterministically, so
+// the latency-bound tests never sleep on the wall clock.
+type fakeTimer struct {
+	mu      sync.Mutex
+	delays  []time.Duration
+	pending func()
+	armed   chan struct{}
+}
+
+func newFakeTimer() *fakeTimer {
+	return &fakeTimer{armed: make(chan struct{}, 16)}
+}
+
+func (ft *fakeTimer) afterFunc(d time.Duration, f func()) func() bool {
+	ft.mu.Lock()
+	ft.delays = append(ft.delays, d)
+	ft.pending = f
+	ft.mu.Unlock()
+	ft.armed <- struct{}{}
+	return func() bool {
+		ft.mu.Lock()
+		defer ft.mu.Unlock()
+		stopped := ft.pending != nil
+		ft.pending = nil
+		return stopped
+	}
+}
+
+// fire runs the armed callback, as if the latency bound elapsed.
+func (ft *fakeTimer) fire() {
+	ft.mu.Lock()
+	f := ft.pending
+	ft.pending = nil
+	ft.mu.Unlock()
+	if f != nil {
+		f()
+	}
+}
+
+func digestOf(b byte) [32]byte { return sha256.Sum256([]byte{b}) }
+
+func checkAttestation(t *testing.T, s *Signer, digest [32]byte, att RootAttestation) {
+	t.Helper()
+	if err := VerifyBatchRoot(s.Public(), att.Root, att.Sig); err != nil {
+		t.Fatalf("root signature: %v", err)
+	}
+	if err := merkle.Verify(att.Root, digest[:], att.Proof); err != nil {
+		t.Fatalf("inclusion proof: %v", err)
+	}
+}
+
+func TestBatchSignerSizeFlush(t *testing.T) {
+	signer, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := newFakeTimer()
+	bs := NewBatchSigner(signer, BatchSignerOptions{MaxBatch: 4, AfterFunc: ft.afterFunc})
+	defer bs.Close()
+
+	const n = 4
+	atts := make([]RootAttestation, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			att, err := bs.Sign(digestOf(byte(i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			atts[i] = att
+		}()
+	}
+	wg.Wait()
+	// The size bound flushed without any timer firing.
+	for i := 0; i < n; i++ {
+		checkAttestation(t, signer, digestOf(byte(i)), atts[i])
+		if atts[i].Root != atts[0].Root {
+			t.Fatalf("digest %d signed under a different root", i)
+		}
+	}
+	if bs.Batches() != 1 || bs.Signed() != n {
+		t.Fatalf("batches=%d signed=%d, want 1 and %d", bs.Batches(), bs.Signed(), n)
+	}
+	// Leaves must be distinct positions of one tree.
+	seen := map[int]bool{}
+	for i := range atts {
+		if seen[atts[i].Proof.Index] {
+			t.Fatalf("duplicate leaf index %d", atts[i].Proof.Index)
+		}
+		seen[atts[i].Proof.Index] = true
+	}
+}
+
+// TestBatchSignerLatencyBound pins the flush-latency promise under a
+// slow trickle of audits: each lone digest arms the timer with exactly
+// MaxLatency, completes only once the timer fires, and the next lone
+// digest re-arms it.
+func TestBatchSignerLatencyBound(t *testing.T) {
+	signer, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := newFakeTimer()
+	const maxLatency = 7 * time.Millisecond
+	bs := NewBatchSigner(signer, BatchSignerOptions{
+		MaxBatch: 1000, MaxLatency: maxLatency, AfterFunc: ft.afterFunc,
+	})
+	defer bs.Close()
+
+	for round := 0; round < 3; round++ {
+		done := make(chan RootAttestation, 1)
+		go func() {
+			att, err := bs.Sign(digestOf(byte(round)))
+			if err != nil {
+				t.Error(err)
+			}
+			done <- att
+		}()
+		<-ft.armed
+		select {
+		case <-done:
+			t.Fatalf("round %d: lone digest signed before the latency bound", round)
+		default:
+		}
+		ft.fire()
+		att := <-done
+		checkAttestation(t, signer, digestOf(byte(round)), att)
+		if len(att.Proof.Steps) != 0 {
+			t.Fatalf("round %d: singleton batch should need no proof steps", round)
+		}
+	}
+	if len(ft.delays) != 3 {
+		t.Fatalf("timer armed %d times, want 3", len(ft.delays))
+	}
+	for i, d := range ft.delays {
+		if d != maxLatency {
+			t.Fatalf("arm %d used delay %v, want %v", i, d, maxLatency)
+		}
+	}
+	if bs.Batches() != 3 {
+		t.Fatalf("batches=%d, want 3 (one per trickled digest)", bs.Batches())
+	}
+}
+
+func TestBatchSignerCloseFlushesPending(t *testing.T) {
+	signer, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := newFakeTimer()
+	bs := NewBatchSigner(signer, BatchSignerOptions{MaxBatch: 1000, AfterFunc: ft.afterFunc})
+
+	done := make(chan RootAttestation, 1)
+	go func() {
+		att, err := bs.Sign(digestOf(9))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- att
+	}()
+	<-ft.armed
+	bs.Close()
+	checkAttestation(t, signer, digestOf(9), <-done)
+
+	if _, err := bs.Sign(digestOf(10)); err != ErrBatchSignerClosed {
+		t.Fatalf("Sign after Close: %v, want ErrBatchSignerClosed", err)
+	}
+}
+
+// TestBatchRootDomainSeparation: a batch-root signature must never
+// verify as a plain message signature over the root bytes (and vice
+// versa) — the domain prefix keeps the two signature kinds disjoint.
+func TestBatchRootDomainSeparation(t *testing.T) {
+	signer, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := merkle.LeafHash([]byte("root"))
+	sig, err := signer.SignBatchRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBatchRoot(signer.Public(), root, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(signer.Public(), root[:], sig); err == nil {
+		t.Fatal("batch-root signature verified as a plain signature")
+	}
+	plain, err := signer.Sign(root[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBatchRoot(signer.Public(), root, plain); err == nil {
+		t.Fatal("plain signature verified as a batch-root signature")
+	}
+}
+
+func TestVerifyBatchRootWrongKey(t *testing.T) {
+	signer, _ := NewSigner()
+	other, _ := NewSigner()
+	root := merkle.LeafHash([]byte("root"))
+	sig, err := signer.SignBatchRoot(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyBatchRoot(other.Public(), root, sig); err == nil {
+		t.Fatal("root signature verified under the wrong key")
+	}
+}

@@ -15,4 +15,26 @@
 // that seeking CTR and prp's batched Feistel rounds; Tagger precomputes
 // its HMAC inner/outer states once per file, making per-segment tagging
 // and VerifyTag allocation-free.
+//
+// # Amortized transcript signing
+//
+// BatchSigner breaks the one-ECDSA-signature-per-audit cap: concurrent
+// audits hand it their canonical transcript digests, it accumulates
+// them as leaves of one Merkle tree (flushing on a batch-size bound or
+// a max-latency bound, whichever comes first) and signs only the root.
+// Each audit gets back a RootAttestation — the root, one signature over
+// it, and that leaf's inclusion proof.
+//
+// The trust argument is unchanged from per-transcript signing. A
+// per-transcript signature says "the verifier device vouches for
+// exactly these transcript bytes". A RootAttestation says the same
+// through two links: the ECDSA signature binds the verifier to the
+// root, and the Merkle inclusion proof binds the transcript digest to
+// that root through a collision-resistant hash path — so forging an
+// attestation for bytes the verifier never saw still requires either
+// forging ECDSA or finding a SHA-256 collision. Root signatures are
+// domain-separated (SignBatchRoot/VerifyBatchRoot prefix a fixed tag)
+// so a signed root can never double as a signed transcript or vice
+// versa. What batching does give up is only a little latency: a digest
+// waits up to MaxLatency for co-travellers before its root is signed.
 package crypt

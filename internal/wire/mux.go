@@ -17,6 +17,13 @@ const MuxVersion = 2
 const (
 	// FeatureBatch: the server understands TypeSegmentBatchRequest.
 	FeatureBatch uint32 = 1 << 0
+	// FeatureBatchSign: on the TPA↔verifier leg, signed transcripts may
+	// carry a Merkle batch attestation (root signature + inclusion
+	// proof) instead of a per-transcript signature. Negotiated with a
+	// v1-framed Hello/HelloAck exchange — the framing stays serial v1;
+	// only the attestation form changes. Old daemons answer the probe
+	// with TypeError and the client falls back to per-transcript mode.
+	FeatureBatchSign uint32 = 1 << 1
 )
 
 // MaxBatch bounds the indices in one batch request — enough for any

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/blockfile"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/crypt"
@@ -18,13 +19,17 @@ import (
 )
 
 // transportFixture stands up a loopback prover serving one encoded file
-// and a wall-clock verifier, shared by the transport smoke test and
-// BenchmarkAuditThroughput.
+// and a wall-clock verifier, shared by the transport smoke tests and
+// BenchmarkAuditThroughput. It keeps the tenant encoder, file layout and
+// verifier signing key so tests can also run the TPA side of the path.
 type transportFixture struct {
 	addr     string
 	fileID   string
 	indices  []uint64
 	req      core.AuditRequest
+	signer   *crypt.Signer
+	enc      *por.Encoder
+	layout   blockfile.Layout
 	verifier *core.Verifier
 	stop     func()
 }
@@ -63,9 +68,26 @@ func newTransportFixture(tb testing.TB, k int) *transportFixture {
 		fileID:   ef.FileID,
 		indices:  indices,
 		req:      core.AuditRequest{FileID: ef.FileID, NumSegments: ef.Layout.Segments, K: k, Nonce: nonce},
+		signer:   signer,
+		enc:      enc,
+		layout:   ef.Layout,
 		verifier: verifier,
 		stop:     func() { srv.Close() },
 	}
+}
+
+// newTPA builds the tenant's auditor over the fixture's encoder and
+// verifier key. Segment checks run at Concurrency 1 so callers that
+// already fan out (width-16 bench workers, scheduler workers) don't
+// square the worker count.
+func (f *transportFixture) newTPA(tb testing.TB) *core.TPA {
+	tb.Helper()
+	tpa, err := core.NewTPA(f.enc.WithConcurrency(1), f.signer.Public(),
+		core.DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100}))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tpa
 }
 
 // auditRate runs serial audits through fn for the budget (min 5) and
@@ -161,4 +183,125 @@ func TestTransportSmoke(t *testing.T) {
 	if wanMux < 8*wanDial {
 		t.Errorf("WAN pooled mux %.1f audits/s not ≥8x dial %.1f audits/s", wanMux, wanDial)
 	}
+}
+
+// TestBatchSigningSmoke is the CI comparison of per-transcript vs
+// Merkle-batched transcript signing, driven through the scheduler the
+// way a production TPA runs epochs. The functional half always runs:
+// one epoch per signing mode, every verdict checked for the expected
+// attestation mode, and a ledger self-check that every verified verdict
+// landed in exactly one attestation counter. The throughput-ratio
+// assertion is timing-sensitive, so it only arms under
+// GEOPROOF_TRANSPORT_SMOKE=1 (the CI smoke step); k is kept small so
+// the per-audit ECDSA sign/verify pair dominates and amortized signing
+// must show up as ≥2× scheduled audits/s.
+func TestBatchSigningSmoke(t *testing.T) {
+	const (
+		k     = 8
+		width = 16
+		tasks = 64
+	)
+	fx := newTransportFixture(t, k)
+	defer fx.stop()
+
+	// newSched assembles a scheduler whose single prover is audited over
+	// pooled mux connections, with the verifier either signing each
+	// transcript (solo) or batching digests under one Merkle root.
+	newSched := func(batch bool) (*core.Scheduler, func()) {
+		pool := &core.ProverPool{DialTimeout: 5 * time.Second}
+		v := fx.verifier
+		var bs *crypt.BatchSigner
+		if batch {
+			bs = crypt.NewBatchSigner(fx.signer, crypt.BatchSignerOptions{
+				MaxBatch: width, MaxLatency: 2 * time.Millisecond,
+			})
+			v = v.WithBatchSigner(bs)
+		}
+		sched := core.NewScheduler(core.SchedulerConfig{Workers: width, ProverWindow: width})
+		sched.RegisterTenant("tenant", fx.newTPA(t))
+		sched.RegisterProver("prover", &core.PooledRunner{Verifier: v, Addr: fx.addr, Pool: pool})
+		return sched, func() {
+			if bs != nil {
+				bs.Close()
+			}
+			pool.Close()
+		}
+	}
+
+	epoch := func(sched *core.Scheduler, wantMode core.AttestationMode) {
+		t.Helper()
+		list := make([]core.AuditTask, tasks)
+		for i := range list {
+			list[i] = core.AuditTask{
+				Tenant: "tenant", Prover: "prover",
+				FileID: fx.fileID, Layout: fx.layout, K: k,
+			}
+		}
+		for i, v := range sched.RunEpoch(context.Background(), list) {
+			if v.Outcome != core.OutcomeAccepted {
+				t.Fatalf("task %d: outcome %v (%s)", i, v.Outcome, v.Report.Reason())
+			}
+			if v.Report.Attestation != wantMode {
+				t.Fatalf("task %d: attestation %v, want %v", i, v.Report.Attestation, wantMode)
+			}
+		}
+	}
+
+	// checkLedger is the attestation-accounting self-check: every
+	// verified verdict (accepted or rejected) must have landed in exactly
+	// one attestation counter, and all of them in the expected one.
+	checkLedger := func(sched *core.Scheduler, wantMode core.AttestationMode) {
+		t.Helper()
+		var accepted, rejected, batchAtt, soloAtt int
+		for _, row := range sched.Ledger().Snapshot() {
+			accepted += row.Accepted
+			rejected += row.Rejected
+			batchAtt += row.BatchAttested
+			soloAtt += row.SoloAttested
+		}
+		if verified := accepted + rejected; verified == 0 || verified != batchAtt+soloAtt {
+			t.Fatalf("ledger self-check: %d verified verdicts but %d+%d attested",
+				accepted+rejected, batchAtt, soloAtt)
+		}
+		if wantMode == core.AttestBatch && soloAtt != 0 {
+			t.Fatalf("batch-signing epoch recorded %d solo-attested verdicts", soloAtt)
+		}
+		if wantMode == core.AttestPerTranscript && batchAtt != 0 {
+			t.Fatalf("per-transcript epoch recorded %d batch-attested verdicts", batchAtt)
+		}
+	}
+
+	solo, stopSolo := newSched(false)
+	defer stopSolo()
+	batch, stopBatch := newSched(true)
+	defer stopBatch()
+
+	// Functional pass for both signing modes, always.
+	epoch(solo, core.AttestPerTranscript)
+	epoch(batch, core.AttestBatch)
+	checkLedger(solo, core.AttestPerTranscript)
+	checkLedger(batch, core.AttestBatch)
+
+	if os.Getenv("GEOPROOF_TRANSPORT_SMOKE") == "" {
+		t.Skip("set GEOPROOF_TRANSPORT_SMOKE=1 for the throughput-ratio assertions")
+	}
+
+	rate := func(sched *core.Scheduler, mode core.AttestationMode) float64 {
+		start := time.Now()
+		n := 0
+		for time.Since(start) < 400*time.Millisecond || n < 2*tasks {
+			epoch(sched, mode)
+			n += tasks
+		}
+		return float64(n) / time.Since(start).Seconds()
+	}
+	soloRate := rate(solo, core.AttestPerTranscript)
+	batchRate := rate(batch, core.AttestBatch)
+	t.Logf("scheduled k=%d: per-transcript %.0f audits/s, batch-signed %.0f audits/s (x%.1f)",
+		k, soloRate, batchRate, batchRate/soloRate)
+	if batchRate < 2*soloRate {
+		t.Errorf("batch signing %.0f audits/s not ≥2x per-transcript %.0f audits/s", batchRate, soloRate)
+	}
+	checkLedger(solo, core.AttestPerTranscript)
+	checkLedger(batch, core.AttestBatch)
 }
