@@ -10,13 +10,24 @@
 // round-robin tenant fairness, per-attempt timeout and retry — and prints
 // a live per-prover/per-tenant verdict ledger after every epoch.
 //
+// With -controller it becomes the self-driving fleet control plane: the
+// core.FleetController continuously re-audits every prover on a jittered
+// period, pings them between full audits, escalates a failing or slow
+// prover's policy (tighter window and timeout, doubled challenge rounds),
+// quarantines repeat offenders with exponential-backoff probation, and
+// serves the fleet's health matrix and verdict ledger as JSON over HTTP
+// (GET /status on -status-addr). The ledger stays bounded via -retain.
+//
 // Usage:
 //
 //	geoverifierd -addr :9342 -prover host:9341 [-lat -27.4698 -lon 153.0251]
 //	geoverifierd -audit -meta data.meta.json -provers host:9341,host2:9341 \
 //	    [-tenants 8] [-epochs 3] [-k 20] [-tmax 50ms] [-window 2] \
 //	    [-timeout 5s] [-retries 1] [-j 8] [-transport pooled] [-conns 1] \
-//	    [-policy host2:9341=window=1,timeout=20s,retries=0]
+//	    [-retain 8] [-policy host2:9341=window=1,timeout=20s,retries=0]
+//	geoverifierd -controller -meta data.meta.json -provers host:9341,host2:9341 \
+//	    [-status-addr 127.0.0.1:9343] [-period 10s] [-period-jitter 0.2] \
+//	    [-probe-period 2s] [-retain 8] [-tenants 8] [-k 20] [-tmax 50ms]
 //
 // -policy (repeatable) layers per-prover overrides over the fleet knobs:
 // a slow WAN site can get a wider deadline and narrower window without
@@ -34,14 +45,20 @@ import (
 	"context"
 	"crypto/elliptic"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/blockfile"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/crypt"
@@ -65,6 +82,12 @@ func run() error {
 	lon := flag.Float64("lon", geo.Brisbane.LonDeg, "device GPS longitude")
 
 	audit := flag.Bool("audit", false, "run the multi-tenant audit scheduler instead of serving TPAs")
+	controller := flag.Bool("controller", false, "run the self-driving fleet controller with an HTTP status API")
+	statusAddr := flag.String("status-addr", "127.0.0.1:9343", "status API listen address (controller mode)")
+	period := flag.Duration("period", 10*time.Second, "base per-prover re-audit period (controller mode)")
+	periodJitter := flag.Float64("period-jitter", 0.2, "fraction of the period to jitter each cycle by, in [0,1] (controller mode)")
+	probePeriod := flag.Duration("probe-period", 2*time.Second, "liveness-probe interval between full audits, 0 = off (controller mode)")
+	retain := flag.Uint64("retain", 8, "epochs of per-epoch ledger detail to keep; older epochs fold into archive cells, 0 = keep all (audit/controller mode)")
 	metaPath := flag.String("meta", "", "metadata sidecar from geoprep (required with -audit)")
 	provers := flag.String("provers", "", "comma-separated prover addresses (default: -prover)")
 	tenants := flag.Int("tenants", 8, "simulated tenants sharing the file (audit mode)")
@@ -114,7 +137,7 @@ func run() error {
 		defer batcher.Close()
 	}
 
-	if *audit {
+	if *audit || *controller {
 		if batcher != nil {
 			verifier = verifier.WithBatchSigner(batcher)
 		}
@@ -125,15 +148,21 @@ func run() error {
 		if *transport != "pooled" && *transport != "dial" {
 			return fmt.Errorf("-transport %q: want pooled or dial", *transport)
 		}
-		return runScheduler(schedOpts{
+		o := schedOpts{
 			verifier: verifier, signerPub: signer, metaPath: *metaPath,
 			provers: strings.Split(targets, ","),
 			tenants: *tenants, epochs: *epochs, k: *k,
 			tmax: *tmax, radiusKm: *radius, lat: *lat, lon: *lon,
 			window: *window, timeout: *timeout, retries: *retries, workers: *workers,
 			transport: *transport, conns: *conns,
-			policies: policies,
-		})
+			policies: policies, retain: *retain,
+			statusAddr: *statusAddr, period: *period,
+			periodJitter: *periodJitter, probePeriod: *probePeriod,
+		}
+		if *controller {
+			return runController(o)
+		}
+		return runScheduler(o)
 	}
 
 	pub := signer.Public()
@@ -180,6 +209,66 @@ type schedOpts struct {
 	transport string
 	conns     int
 	policies  map[string]core.ProverPolicy
+	retain    uint64
+
+	// Controller mode.
+	statusAddr   string
+	period       time.Duration
+	periodJitter float64
+	probePeriod  time.Duration
+}
+
+// buildTPA loads the geoprep sidecar and constructs the TPA both fleet
+// modes audit with, plus the validated prover address list.
+func buildTPA(o schedOpts) (*core.TPA, meta.Meta, blockfile.Layout, []string, error) {
+	var m meta.Meta
+	var layout blockfile.Layout
+	if o.metaPath == "" {
+		return nil, m, layout, nil, fmt.Errorf("-meta is required (the sidecar written by geoprep)")
+	}
+	m, err := meta.Load(o.metaPath)
+	if err != nil {
+		return nil, m, layout, nil, err
+	}
+	layout, err = m.Layout()
+	if err != nil {
+		return nil, m, layout, nil, err
+	}
+	master, err := m.MasterKey()
+	if err != nil {
+		return nil, m, layout, nil, err
+	}
+	enc := por.NewEncoder(master).WithParams(m.Params)
+	policy := core.DefaultPolicy(cloud.SLA{
+		Center:   geo.Position{LatDeg: o.lat, LonDeg: o.lon},
+		RadiusKm: o.radiusKm,
+	})
+	policy.TMax = o.tmax
+	tpa, err := core.NewTPA(enc, o.signerPub.Public(), policy)
+	if err != nil {
+		return nil, m, layout, nil, err
+	}
+	var addrs []string
+	for _, p := range o.provers {
+		if a := strings.TrimSpace(p); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, m, layout, nil, fmt.Errorf("no prover addresses given")
+	}
+	// A policy that matches no prover is an operator typo; silently
+	// running without the override would be worse than refusing.
+	known := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		known[a] = true
+	}
+	for a := range o.policies {
+		if !known[a] {
+			return nil, m, layout, nil, fmt.Errorf("-policy for %q matches no -provers address (have %s)", a, strings.Join(addrs, ", "))
+		}
+	}
+	return tpa, m, layout, addrs, nil
 }
 
 // parsePolicy parses one -policy value: "addr=knob=value,knob=value,...".
@@ -244,29 +333,7 @@ func parsePolicy(v string) (string, core.ProverPolicy, error) {
 // runScheduler is audit mode: this process is both the verifier device and
 // the multi-tenant TPA, continuously auditing every listed prover.
 func runScheduler(o schedOpts) error {
-	if o.metaPath == "" {
-		return fmt.Errorf("-audit requires -meta (the sidecar written by geoprep)")
-	}
-	m, err := meta.Load(o.metaPath)
-	if err != nil {
-		return err
-	}
-	layout, err := m.Layout()
-	if err != nil {
-		return err
-	}
-	master, err := m.MasterKey()
-	if err != nil {
-		return err
-	}
-	enc := por.NewEncoder(master).WithParams(m.Params)
-
-	policy := core.DefaultPolicy(cloud.SLA{
-		Center:   geo.Position{LatDeg: o.lat, LonDeg: o.lon},
-		RadiusKm: o.radiusKm,
-	})
-	policy.TMax = o.tmax
-	tpa, err := core.NewTPA(enc, o.signerPub.Public(), policy)
+	tpa, m, layout, addrs, err := buildTPA(o)
 	if err != nil {
 		return err
 	}
@@ -290,26 +357,6 @@ func runScheduler(o schedOpts) error {
 		},
 	})
 
-	var addrs []string
-	for _, p := range o.provers {
-		if a := strings.TrimSpace(p); a != "" {
-			addrs = append(addrs, a)
-		}
-	}
-	if len(addrs) == 0 {
-		return fmt.Errorf("no prover addresses given")
-	}
-	// A policy that matches no prover is an operator typo; silently
-	// running without the override would be worse than refusing.
-	known := make(map[string]bool, len(addrs))
-	for _, a := range addrs {
-		known[a] = true
-	}
-	for a := range o.policies {
-		if !known[a] {
-			return fmt.Errorf("-policy for %q matches no -provers address (have %s)", a, strings.Join(addrs, ", "))
-		}
-	}
 	var tasks []core.AuditTask
 	for t := 0; t < o.tenants; t++ {
 		name := fmt.Sprintf("tenant-%03d", t)
@@ -353,9 +400,6 @@ func runScheduler(o schedOpts) error {
 		}
 	}
 
-	// Continuous mode runs indefinitely; fold epochs older than this into
-	// the per-(tenant, prover) archive cells so the ledger stays bounded.
-	const keepEpochs = 8
 	transport := "pooled mux"
 	if pool == nil {
 		transport = "dial-per-audit"
@@ -363,8 +407,10 @@ func runScheduler(o schedOpts) error {
 	fmt.Printf("audit scheduler: %d tenants × %d provers × %d rounds, window %d/prover, Δt_max %v, %s transport\n",
 		o.tenants, len(addrs), o.k, o.window, o.tmax, transport)
 	for epoch := 1; o.epochs == 0 || epoch <= o.epochs; epoch++ {
-		if epoch > keepEpochs {
-			sched.Ledger().CompactBefore(uint64(epoch - keepEpochs))
+		// Continuous runs stay bounded: fold epochs older than the
+		// retention window into the per-(tenant, prover) archive cells.
+		if o.retain > 0 && uint64(epoch) > o.retain {
+			sched.Ledger().CompactBefore(uint64(epoch) - o.retain)
 		}
 		start := time.Now()
 		verdicts := sched.RunEpoch(context.Background(), tasks)
@@ -380,6 +426,96 @@ func runScheduler(o schedOpts) error {
 			float64(len(verdicts))/elapsed.Seconds())
 		printLedger(sched.Ledger())
 	}
+	return nil
+}
+
+// runController is controller mode: the process becomes the fleet's
+// self-driving control plane. Every prover is continuously re-audited on
+// a jittered period and pinged between audits; failing provers are
+// escalated, quarantined and rehabilitated by the core.FleetController
+// state machine; and the whole health matrix is served as JSON over HTTP
+// for operators and the CI smoke test.
+func runController(o schedOpts) error {
+	tpa, m, layout, addrs, err := buildTPA(o)
+	if err != nil {
+		return err
+	}
+	if o.periodJitter < 0 || o.periodJitter > 1 {
+		return fmt.Errorf("-period-jitter %v: want a fraction in [0,1]", o.periodJitter)
+	}
+
+	pool := &core.ProverPool{DialTimeout: o.timeout, ConnsPerAddr: o.conns}
+	defer pool.Close()
+	ctl := core.NewFleetController(core.FleetConfig{
+		Scheduler: core.SchedulerConfig{
+			Workers:      o.workers,
+			ProverWindow: o.window,
+			Timeout:      o.timeout,
+			Retries:      o.retries,
+		},
+		AuditPeriod:  o.period,
+		AuditJitter:  o.periodJitter,
+		ProbePeriod:  o.probePeriod,
+		ProbeTimeout: o.timeout,
+		RetainEpochs: o.retain,
+		Pool:         pool,
+		OnTransition: func(prover string, from, to core.Health, reason string) {
+			fmt.Printf("controller: %s %s -> %s (%s)\n", prover, from, to, reason)
+		},
+	})
+	defer ctl.Close()
+
+	for t := 0; t < o.tenants; t++ {
+		ctl.RegisterTenant(fmt.Sprintf("tenant-%03d", t), tpa)
+	}
+	for _, addr := range addrs {
+		var tasks []core.AuditTask
+		for t := 0; t < o.tenants; t++ {
+			tasks = append(tasks, core.AuditTask{
+				Tenant: fmt.Sprintf("tenant-%03d", t),
+				FileID: m.FileID, Layout: layout, K: o.k,
+			})
+		}
+		err := ctl.Register(addr, core.ProverSpec{
+			Runner: &core.PooledRunner{Verifier: o.verifier, Addr: addr, Pool: pool},
+			Probe:  core.PoolProbe(pool, addr),
+			Policy: o.policies[addr],
+			Addr:   addr,
+			Tasks:  tasks,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ctl.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	lis, err := net.Listen("tcp", o.statusAddr)
+	if err != nil {
+		return fmt.Errorf("status API listen: %w", err)
+	}
+	httpSrv := &http.Server{Handler: mux}
+	go httpSrv.Serve(lis)
+	defer httpSrv.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("fleet controller: %d provers × %d tenants, period %v ±%.0f%%, probes every %v, status API http://%s/status\n",
+		len(addrs), o.tenants, o.period, o.periodJitter*100, o.probePeriod, lis.Addr())
+	if err := ctl.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	fmt.Println("fleet controller: shut down")
 	return nil
 }
 

@@ -1,0 +1,343 @@
+// Fleet: the self-driving control plane from internal/core/fleet.go on a
+// simulated fleet — continuous jittered re-audits, liveness probes, and
+// the health state machine reacting to churn without an operator. The
+// scenario kills one prover's network (probes and audits fail), corrupts
+// another's storage (MAC rejections), watches both get escalated to a
+// tighter policy with doubled challenge rounds, quarantined, and — after
+// the faults are repaired — rehabilitated through probation audits. A
+// third prover leaves gracefully mid-run and a fresh one joins. The whole
+// run is driven on a virtual clock with seeded jitter, and the demo
+// replays itself with the same seed to prove the trace is bit-identical —
+// the determinism seam the controller tests rely on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/crypt"
+	"repro/internal/disk"
+	"repro/internal/geo"
+	"repro/internal/gps"
+	"repro/internal/por"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+)
+
+const (
+	numProvers = 4 // initial fleet; one more joins mid-run
+	numTenants = 3
+	rounds     = 4
+	seed       = 42
+)
+
+// gateConn wraps a simulated prover connection with a kill switch: while
+// down, every exchange fails like an unreachable site.
+type gateConn struct {
+	inner core.ProverConn
+	down  atomic.Bool
+}
+
+func (c *gateConn) GetSegment(ctx context.Context, fileID string, index uint64) ([]byte, error) {
+	if c.down.Load() {
+		return nil, errors.New("site unreachable")
+	}
+	return c.inner.GetSegment(ctx, fileID, index)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	start := time.Now()
+	fmt.Printf("run A (seed %d):\n", seed)
+	a, err := runScenario(true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrun B (same seed, quiet): replaying for the determinism check...\n")
+	b, err := runScenario(false)
+	if err != nil {
+		return err
+	}
+	if a != b {
+		return fmt.Errorf("same-seed runs diverged:\n--- A ---\n%s\n--- B ---\n%s", a, b)
+	}
+	fmt.Printf("\ntwo seeded runs produced bit-identical traces (%d bytes of status+ledger+transitions), wall %v\n",
+		len(a), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runScenario plays the churn script once and returns the full
+// observable trace: every health transition plus the final status API
+// snapshot and ledger. Everything in it derives from the virtual clock
+// and the seeded per-prover jitter, so two runs must match byte for
+// byte.
+func runScenario(verbose bool) (string, error) {
+	clk := vclock.NewVirtual(time.Unix(1700000000, 0))
+	net := simnet.New(clk, 7)
+	net.AddNode("verifier", geo.Brisbane, nil)
+	signer, err := crypt.NewSigner()
+	if err != nil {
+		return "", err
+	}
+	verifier, err := core.NewVerifier(signer, &gps.Receiver{True: geo.Brisbane}, clk)
+	if err != nil {
+		return "", err
+	}
+
+	// The tenants: each encodes a private file, replicated on every site.
+	type tenant struct {
+		name string
+		ef   *por.EncodedFile
+		tpa  *core.TPA
+	}
+	tenants := make([]*tenant, numTenants)
+	for t := range tenants {
+		name := fmt.Sprintf("tenant-%02d", t)
+		enc := por.NewEncoder([]byte("master-" + name)).WithConcurrency(1)
+		file := make([]byte, 2048)
+		for i := range file {
+			file[i] = byte(t + i)
+		}
+		ef, err := enc.Encode(name+"/data", file)
+		if err != nil {
+			return "", err
+		}
+		tpa, err := core.NewTPA(enc, signer.Public(),
+			core.DefaultPolicy(cloud.SLA{Center: geo.Brisbane, RadiusKm: 100}))
+		if err != nil {
+			return "", err
+		}
+		tenants[t] = &tenant{name: name, ef: ef, tpa: tpa}
+	}
+
+	// The controller: synchronous ticks on the virtual clock, seeded
+	// jitter, escalation and quarantine knobs small enough to watch.
+	var transitions []string
+	ctl := core.NewFleetController(core.FleetConfig{
+		Scheduler:         core.SchedulerConfig{Workers: 1},
+		AuditPeriod:       10 * time.Second,
+		AuditJitter:       0.2,
+		ProbePeriod:       2 * time.Second,
+		ProbationPeriod:   4 * time.Second,
+		SuspectAfter:      1,
+		QuarantineAfter:   2,
+		ProbeSuspectAfter: 3,
+		ProbationAudits:   2,
+		QuarantineBackoff: core.Backoff{Base: 15 * time.Second, Max: time.Minute, Jitter: 0.3},
+		Clock:             clk,
+		Seed:              seed,
+		Synchronous:       true,
+		OnTransition: func(prover string, from, to core.Health, reason string) {
+			line := fmt.Sprintf("%s: %s -> %s (%s)", prover, from, to, reason)
+			transitions = append(transitions, line)
+			if verbose {
+				fmt.Printf("  [%3ds] %s\n", int(clk.Now().Unix()-1700000000), line)
+			}
+		},
+	})
+	defer ctl.Close()
+	for _, tn := range tenants {
+		ctl.RegisterTenant(tn.name, tn.tpa)
+	}
+
+	// The sites, wired into the simulated LAN behind gated connections.
+	var simLock sync.Mutex
+	lan := simnet.LANLink{
+		DistanceKm: 0.5, Switches: 3,
+		PerSwitch: 30 * time.Microsecond, Base: 100 * time.Microsecond,
+	}
+	proverName := func(p int) string { return fmt.Sprintf("prover-%02d", p) }
+	sites := map[string]*cloud.Site{}
+	gates := map[string]*gateConn{}
+	join := func(name string, siteSeed int64) error {
+		site := cloud.NewSite(cloud.DataCenter{
+			Name: name, Position: geo.Brisbane, Disk: disk.WD2500JD,
+		}, siteSeed)
+		for _, tn := range tenants {
+			site.Store(tn.ef.FileID, tn.ef.Layout, tn.ef.Data)
+		}
+		net.AddNode(name, geo.Brisbane, core.ProviderHandler(&cloud.HonestProvider{Site: site}))
+		net.SetLink("verifier", name, lan)
+		gate := &gateConn{inner: &core.SimProverConn{Net: net, Verifier: "verifier", Prover: name}}
+		sites[name] = site
+		gates[name] = gate
+		var tasks []core.AuditTask
+		for _, tn := range tenants {
+			tasks = append(tasks, core.AuditTask{
+				Tenant: tn.name, FileID: tn.ef.FileID, Layout: tn.ef.Layout, K: rounds,
+			})
+		}
+		return ctl.Register(name, core.ProverSpec{
+			Runner: &core.LocalRunner{Verifier: verifier, Conn: gate, Lock: &simLock},
+			Probe: func(ctx context.Context) (time.Duration, error) {
+				if gate.down.Load() {
+					return 0, errors.New("ping: site unreachable")
+				}
+				return 500 * time.Microsecond, nil
+			},
+			Tasks: tasks,
+		})
+	}
+	for p := 0; p < numProvers; p++ {
+		if err := join(proverName(p), int64(100+p)); err != nil {
+			return "", err
+		}
+	}
+
+	step := func() { ctl.Tick(); clk.Advance(time.Second) }
+	healthOf := func(name string) string {
+		for _, p := range ctl.Status().Provers {
+			if p.Name == name {
+				return p.Health
+			}
+		}
+		return "(gone)"
+	}
+	until := func(what string, pred func() bool) error {
+		for i := 0; i < 300; i++ {
+			if pred() {
+				return nil
+			}
+			step()
+		}
+		return fmt.Errorf("never reached %s; status now: %+v", what, ctl.Status().Provers)
+	}
+
+	// Act 1: a stable fleet.
+	for i := 0; i < 35; i++ {
+		step()
+	}
+	for p := 0; p < numProvers; p++ {
+		if h := healthOf(proverName(p)); h != "healthy" {
+			return "", fmt.Errorf("act 1: %s is %s, want healthy", proverName(p), h)
+		}
+	}
+	if verbose {
+		fmt.Printf("  [%3ds] act 1: %d provers audited and healthy\n", int(clk.Now().Unix()-1700000000), numProvers)
+	}
+
+	// Act 2: prover-00's network dies (probes notice first), prover-01's
+	// storage is corrupted (every audit rejects on MACs). The controller
+	// escalates both — tighter policy, doubled rounds — then quarantines
+	// them. Each fault is repaired the moment its prover lands in
+	// quarantine, so the probation audits that follow will pass.
+	gates[proverName(0)].down.Store(true)
+	for _, tn := range tenants {
+		if _, err := sites[proverName(1)].CorruptRandomSegments(tn.ef.FileID, 1.0, 99); err != nil {
+			return "", err
+		}
+	}
+	repaired := map[string]bool{}
+	repair := func() {
+		for _, name := range []string{proverName(0), proverName(1)} {
+			if !repaired[name] && healthOf(name) == "quarantined" {
+				repaired[name] = true
+				if name == proverName(0) {
+					gates[name].down.Store(false)
+				} else {
+					for _, tn := range tenants {
+						sites[name].Store(tn.ef.FileID, tn.ef.Layout, tn.ef.Data)
+					}
+				}
+				if verbose {
+					fmt.Printf("  [%3ds] repaired %s while quarantined\n", int(clk.Now().Unix()-1700000000), name)
+				}
+			}
+		}
+	}
+	err = until("both faulty provers quarantined then healthy", func() bool {
+		repair()
+		return repaired[proverName(0)] && repaired[proverName(1)] &&
+			healthOf(proverName(0)) == "healthy" && healthOf(proverName(1)) == "healthy"
+	})
+	if err != nil {
+		return "", err
+	}
+
+	// Act 3: graceful leave and a fresh join. The departing prover's
+	// in-flight audits drain before it is removed; the newcomer enters
+	// healthy with an immediate admission audit.
+	left := proverName(2)
+	if err := ctl.Deregister(left, true); err != nil {
+		return "", err
+	}
+	leftAudits := auditsOf(ctl.Ledger(), left)
+	newcomer := proverName(numProvers)
+	if err := join(newcomer, 500); err != nil {
+		return "", err
+	}
+	if err := until(newcomer+" audited and healthy", func() bool {
+		return healthOf(newcomer) == "healthy" && auditsOf(ctl.Ledger(), newcomer) > 0
+	}); err != nil {
+		return "", err
+	}
+	for i := 0; i < 20; i++ {
+		step()
+	}
+	if n := auditsOf(ctl.Ledger(), left); n != leftAudits {
+		return "", fmt.Errorf("verdicts landed for %s after graceful leave: %d -> %d", left, leftAudits, n)
+	}
+	if h := healthOf(left); h != "(gone)" {
+		return "", fmt.Errorf("%s still in status after leave: %s", left, h)
+	}
+
+	// Self-check: each repaired prover walked the exact rehabilitation
+	// path — demoted, quarantined, probation, healthy — and nobody else
+	// transitioned at all.
+	for _, name := range []string{proverName(0), proverName(1)} {
+		var path []string
+		for _, tr := range transitions {
+			if strings.HasPrefix(tr, name+": ") {
+				from, rest, _ := strings.Cut(strings.TrimPrefix(tr, name+": "), " -> ")
+				to, _, _ := strings.Cut(rest, " (")
+				path = append(path, from+">"+to)
+			}
+		}
+		want := []string{"healthy>suspect", "suspect>quarantined", "quarantined>probation", "probation>healthy"}
+		if strings.Join(path, " ") != strings.Join(want, " ") {
+			return "", fmt.Errorf("%s walked %v, want %v", name, path, want)
+		}
+	}
+	for _, tr := range transitions {
+		if !strings.HasPrefix(tr, proverName(0)+": ") && !strings.HasPrefix(tr, proverName(1)+": ") {
+			return "", fmt.Errorf("unexpected transition on a healthy prover: %s", tr)
+		}
+	}
+
+	status, err := json.Marshal(ctl.Status())
+	if err != nil {
+		return "", err
+	}
+	if verbose {
+		fmt.Printf("  [%3ds] final fleet:", int(clk.Now().Unix()-1700000000))
+		for _, p := range ctl.Status().Provers {
+			fmt.Printf(" %s=%s(%d audits)", p.Name, p.Health, p.Cycles)
+		}
+		fmt.Println()
+	}
+	return fmt.Sprintf("transitions:\n%s\nstatus:\n%s\nledger:\n%+v\n",
+		strings.Join(transitions, "\n"), status, ctl.Ledger().Snapshot()), nil
+}
+
+func auditsOf(l *core.AuditLedger, prover string) int {
+	for _, row := range l.TotalsByProver() {
+		if row.Name == prover {
+			return row.Audits
+		}
+	}
+	return 0
+}

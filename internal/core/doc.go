@@ -74,6 +74,46 @@
 // daemon, a daemon without -batchsign) falls back to per-transcript
 // signatures — old TPAs and old daemons interoperate unchanged.
 //
+// # Fleet control plane
+//
+// The FleetController (fleet.go) closes the loop the Scheduler leaves
+// open: instead of a caller handing RunEpoch a static task list, the
+// controller owns a dynamic prover registry (Register/Deregister at
+// runtime, graceful draining of in-flight audits before a prover's
+// state is torn down) and reconciles desired state against observed
+// health. Between full audits it runs cheap liveness probes (PoolProbe
+// borrows a warm pooled conn and pings), and it re-audits every prover
+// continuously on a per-prover jittered period. Each prover walks a
+// health state machine:
+//
+//	          cycle failures ≥ SuspectAfter,
+//	          or probe failures ≥ ProbeSuspectAfter
+//	Healthy ────────────────────────────────────▶ Suspect
+//	  ▲                                             │
+//	  │ cycle passes                                │ failures while
+//	  │ (policy restored)                           │ suspect ≥ QuarantineAfter
+//	  │                                             ▼
+//	  │      ProbationAudits consecutive      Quarantined ──▶ Evicted
+//	  │      probation passes                       │   (quarantine entries
+//	Probation ◀─────────────────────────────────────┘    ≥ EvictAfter)
+//	  │              quarantine backoff expired
+//	  └──▶ back to Quarantined on any probation failure
+//
+// A suspect prover is audited under an escalated ProverPolicy (serial
+// window, scaled-down timeout, bounded retries) with more rounds per
+// audit; a quarantined prover receives no audits at all until an
+// exponential backoff with jitter re-admits it to probation, where
+// single rotating-task audits decide between full recovery and
+// re-quarantine. Every decision runs on the vclock.Clock seam with
+// per-prover seeded randomness, so a controller scenario on the
+// virtual clock replays bit-identically — the Synchronous mode runs
+// due work inline on Tick in deterministic order for exactly that.
+// Status() snapshots the whole fleet (health, policies, counters,
+// ledger totals) for the JSON status API served by geoverifierd
+// -controller, and RetainEpochs bounds ledger memory by folding old
+// epochs into per-pair archive cells (AuditLedger.CompactBefore) as
+// the controller ticks.
+//
 // # Cancellation
 //
 // A context.Context threads the whole audit path — RunEpoch →

@@ -58,6 +58,9 @@ type poolEntry struct {
 	next  int
 	v1    bool               // negotiation fell back to v1 for this addr
 	idle  []PooledProverConn // exclusive v1 conns awaiting checkout
+	// evicted latches when Evict orphans this entry; a checked-out v1
+	// conn released afterwards is closed instead of re-idled here.
+	evicted bool
 }
 
 // Dials returns how many connections the pool has dialed — the
@@ -109,6 +112,14 @@ func (p *ProverPool) Get(addr string) (PooledProverConn, func(error), error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.evicted {
+		// Lost a race with Evict between entry() and here: start over on
+		// the fresh entry rather than parking a conn in the orphaned one.
+		e.mu.Unlock()
+		conn, release, err := p.Get(addr)
+		e.mu.Lock()
+		return conn, release, err
+	}
 	if !e.v1 {
 		// Round-robin over the healthy shared slots.
 		n := len(e.slots)
@@ -188,13 +199,52 @@ func (p *ProverPool) exclusiveRelease(e *poolEntry, conn PooledProverConn) func(
 				p.mu.Unlock()
 				if !closed {
 					e.mu.Lock()
-					e.idle = append(e.idle, conn)
+					if !e.evicted {
+						e.idle = append(e.idle, conn)
+						e.mu.Unlock()
+						return
+					}
 					e.mu.Unlock()
-					return
 				}
 			}
 			conn.Close()
 		})
+	}
+}
+
+// Evict closes and forgets every pooled connection to addr — shared mux
+// slots and idle v1 conns alike. The fleet controller calls it when a
+// prover deregisters or is evicted, so stale warm connections to a
+// departed prover are torn down promptly instead of lingering until a
+// health-checked reuse fails mid-audit. Exclusive v1 connections
+// currently checked out are not tracked by the pool; their release finds
+// the address entry gone and closes them instead of re-idling them. A
+// later Get for the same address dials fresh.
+func (p *ProverPool) Evict(addr string) {
+	p.mu.Lock()
+	var e *poolEntry
+	if p.addrs != nil {
+		e = p.addrs[addr]
+		delete(p.addrs, addr)
+	}
+	p.mu.Unlock()
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	slots := e.slots
+	idle := e.idle
+	e.slots = make([]PooledProverConn, len(e.slots))
+	e.idle = nil
+	e.evicted = true
+	e.mu.Unlock()
+	for _, c := range slots {
+		if c != nil {
+			c.Close()
+		}
+	}
+	for _, c := range idle {
+		c.Close()
 	}
 }
 

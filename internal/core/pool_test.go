@@ -135,6 +135,88 @@ func TestProverPoolV1ExclusiveCheckout(t *testing.T) {
 	}
 }
 
+func TestProverPoolEvictClosesWarmConns(t *testing.T) {
+	_, ef, site := tcpFixture(t)
+	addr, stop := startServer(t, &cloud.HonestProvider{Site: site}, false)
+	defer stop()
+	pool := &ProverPool{DialTimeout: time.Second}
+	defer pool.Close()
+
+	conn, release, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 0); err != nil {
+		t.Fatal(err)
+	}
+	release(nil)
+	if !conn.Healthy() {
+		t.Fatal("warm conn unhealthy before eviction")
+	}
+
+	// Eviction must close the warm shared conn promptly — not leave it to
+	// fail a later health-checked reuse.
+	pool.Evict(addr)
+	if conn.Healthy() {
+		t.Fatal("evicted conn still reports healthy: it was not closed")
+	}
+	if _, err := conn.GetSegment(context.Background(), ef.FileID, 0); err == nil {
+		t.Fatal("GetSegment on evicted conn succeeded")
+	}
+
+	// The address is not poisoned: the next borrow dials fresh.
+	conn2, release2, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = conn2.GetSegment(context.Background(), ef.FileID, 1)
+	release2(err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := pool.Dials(); d != 2 {
+		t.Fatalf("pool dialed %d times, want 2 (one before, one after eviction)", d)
+	}
+}
+
+func TestProverPoolEvictV1CheckedOut(t *testing.T) {
+	// A v1 conn checked out across an eviction must be closed on release,
+	// not returned to the orphaned idle list.
+	_, ef, site := tcpFixture(t)
+	addr, stop := legacyServer(t, &cloud.HonestProvider{Site: site})
+	defer stop()
+	pool := &ProverPool{DialTimeout: time.Second}
+	defer pool.Close()
+
+	idleConn, idleRelease, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldConn, heldRelease, err := pool.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idleRelease(nil) // back on the idle list before the eviction
+
+	pool.Evict(addr)
+	// v1 conns track desync, not closedness, so probe with an exchange:
+	// the idle conn's socket must be gone, the held one's still live.
+	if _, err := idleConn.GetSegment(context.Background(), ef.FileID, 0); err == nil {
+		t.Fatal("idle v1 conn not closed by eviction")
+	}
+	if _, err := heldConn.GetSegment(context.Background(), ef.FileID, 0); err != nil {
+		t.Fatalf("checked-out conn broken before release: %v", err)
+	}
+	heldRelease(nil)
+	// Clean release after eviction closes rather than re-idles.
+	if _, err := heldConn.GetSegment(context.Background(), ef.FileID, 0); err == nil {
+		t.Fatal("conn released after eviction was not closed")
+	}
+	if d := pool.Dials(); d != 2 {
+		t.Fatalf("pool dialed %d times, want 2", d)
+	}
+}
+
 func TestProverPoolClosedGetFails(t *testing.T) {
 	pool := &ProverPool{}
 	pool.Close()

@@ -522,8 +522,18 @@ type SchedulerConfig struct {
 	// Retries is how many times a transport failure or timeout is retried
 	// (rejected transcripts are verdicts and are never retried).
 	Retries int
-	// RetryBackoff is slept between attempts, outside the prover window.
+	// RetryBackoff is the attempt-0 delay slept between attempts, outside
+	// the prover window; later attempts back off exponentially from it
+	// (core.Backoff with the default factor of 2).
 	RetryBackoff time.Duration
+	// RetryJitter in [0, 1] spreads each retry delay over
+	// [d·(1−RetryJitter), d] so a fleet of retriers does not hammer a
+	// recovering prover in lockstep. 0 keeps retries deterministic.
+	RetryJitter float64
+	// RetryRand supplies the jitter draws (nil = global math/rand). The
+	// fleet controller injects its seeded source here so scheduler
+	// retries replay deterministically.
+	RetryRand func() float64
 	// Weights are per-tenant fairness weights for FairOrder.
 	Weights map[string]int
 	// OnVerdict, when set, observes every verdict as it lands — the live
@@ -595,17 +605,21 @@ type proverState struct {
 	window  chan struct{}
 	timeout time.Duration
 	retries int
-	backoff time.Duration
+	backoff Backoff
 }
 
 // Scheduler drives many concurrent audits — request → challenge rounds →
 // transcript → verification → verdict — for many tenants against many
 // provers, and aggregates the verdicts in an AuditLedger. Construct with
 // NewScheduler, register tenants and provers, then call RunEpoch with the
-// epoch's task list. Registration is not safe concurrently with RunEpoch;
-// concurrent RunEpoch calls are safe but share the per-prover windows.
+// epoch's task list. Registration, deregistration and RunEpoch are all
+// safe concurrently — the fleet controller registers and deregisters
+// provers while epochs are in flight — though a task whose prover is
+// deregistered mid-epoch records an unregistered-prover error verdict;
+// concurrent RunEpoch calls share the per-prover windows.
 type Scheduler struct {
 	cfg     SchedulerConfig
+	mu      sync.RWMutex
 	tenants map[string]*TPA
 	provers map[string]*proverState
 	epoch   atomic.Uint64
@@ -630,6 +644,8 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 // policy; several tenant names may share one *TPA when they share
 // parameters.
 func (s *Scheduler) RegisterTenant(name string, tpa *TPA) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.tenants[name] = tpa
 }
 
@@ -642,17 +658,36 @@ func (s *Scheduler) RegisterProver(name string, r AuditRunner) {
 
 // RegisterProverPolicy installs a prover whose window/timeout/retry knobs
 // are layered over the fleet defaults (see ProverPolicy). Re-registering
-// a name replaces its runner, policy and window. Like RegisterTenant it
-// must not race RunEpoch.
+// a name replaces its runner, policy and window; audits already in
+// flight finish under the state they started with. Safe concurrently
+// with RunEpoch.
 func (s *Scheduler) RegisterProverPolicy(name string, r AuditRunner, p ProverPolicy) {
 	window, timeout, retries, backoff := p.layer(s.cfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.provers[name] = &proverState{
 		runner:  r,
 		window:  make(chan struct{}, window),
 		timeout: timeout,
 		retries: retries,
-		backoff: backoff,
+		backoff: Backoff{
+			Base:   backoff,
+			Jitter: s.cfg.RetryJitter,
+			Rand:   s.cfg.RetryRand,
+		},
 	}
+}
+
+// DeregisterProver removes a prover from the dispatch table: later tasks
+// naming it record unregistered-prover error verdicts. Audits already
+// past their lookup finish normally — a caller that must guarantee no
+// verdict lands after departure (the fleet controller's graceful leave)
+// drains its own in-flight work before calling this. Deregistering an
+// unknown name is a no-op.
+func (s *Scheduler) DeregisterProver(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.provers, name)
 }
 
 // Ledger exposes the scheduler's verdict ledger.
@@ -669,10 +704,25 @@ func (s *Scheduler) Ledger() *AuditLedger { return s.ledger }
 // attempt fail fast (recorded as error verdicts), draining the epoch
 // promptly without stranding goroutines.
 func (s *Scheduler) RunEpoch(ctx context.Context, tasks []AuditTask) []Verdict {
+	return s.RunEpochNumbered(ctx, s.epoch.Add(1), tasks)
+}
+
+// RunEpochNumbered is RunEpoch with a caller-chosen epoch number instead
+// of the scheduler's own counter. The fleet controller uses it to stamp
+// every audit cycle it dispatches in one reconcile tick with the same
+// epoch, keeping ledger epochs deterministic under concurrent per-prover
+// cycles. The internal counter is bumped to at least epoch so later
+// RunEpoch calls never reuse a number.
+func (s *Scheduler) RunEpochNumbered(ctx context.Context, epoch uint64, tasks []AuditTask) []Verdict {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	epoch := s.epoch.Add(1)
+	for {
+		cur := s.epoch.Load()
+		if cur >= epoch || s.epoch.CompareAndSwap(cur, epoch) {
+			break
+		}
+	}
 	order := FairOrder(tasks, s.cfg.Weights)
 	verdicts := make([]Verdict, len(order))
 	workers := parallel.Resolve(s.cfg.Workers)
@@ -711,13 +761,15 @@ func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Ve
 		v.Elapsed = time.Since(start)
 		return v
 	}
-	tpa, ok := s.tenants[task.Tenant]
-	if !ok {
+	s.mu.RLock()
+	tpa, tenantOK := s.tenants[task.Tenant]
+	prover, proverOK := s.provers[task.Prover]
+	s.mu.RUnlock()
+	if !tenantOK {
 		v.Outcome, v.Err = OutcomeError, fmt.Sprintf("unregistered tenant %q", task.Tenant)
 		return finish()
 	}
-	prover, ok := s.provers[task.Prover]
-	if !ok {
+	if !proverOK {
 		v.Outcome, v.Err = OutcomeError, fmt.Sprintf("unregistered prover %q", task.Prover)
 		return finish()
 	}
@@ -757,11 +809,11 @@ func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Ve
 			}
 			return finish()
 		}
-		if prover.backoff > 0 {
+		if d := prover.backoff.Delay(attempt); d > 0 {
 			// Backoff outside the prover window, but never outlive the
 			// epoch: a cancelled ctx drains immediately (the next loop
 			// iteration fails fast and records the verdict).
-			timer := time.NewTimer(prover.backoff)
+			timer := time.NewTimer(d)
 			select {
 			case <-timer.C:
 			case <-ctx.Done():
