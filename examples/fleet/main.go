@@ -30,6 +30,7 @@ import (
 	"repro/internal/gps"
 	"repro/internal/por"
 	"repro/internal/simnet"
+	"repro/internal/testnet"
 	"repro/internal/vclock"
 )
 
@@ -72,11 +73,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if a != b {
-		return fmt.Errorf("same-seed runs diverged:\n--- A ---\n%s\n--- B ---\n%s", a, b)
+	if err := testnet.AssertReplay(a, b); err != nil {
+		return fmt.Errorf("same-seed runs diverged: %w", err)
 	}
-	fmt.Printf("\ntwo seeded runs produced bit-identical traces (%d bytes of status+ledger+transitions), wall %v\n",
-		len(a), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\ntwo seeded runs produced bit-identical traces (hash %s), wall %v\n",
+		testnet.TraceHash(a)[:12], time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -313,6 +313,12 @@ func NewFleetController(cfg FleetConfig) *FleetController {
 	if clock == nil {
 		clock = vclock.Real{}
 	}
+	// The inner scheduler inherits the fleet clock unless the caller
+	// pinned its own, so verdict timing and retry pacing ride the same
+	// (possibly virtual) timeline as the health state machine.
+	if cfg.Scheduler.Clock == nil {
+		cfg.Scheduler.Clock = clock
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &FleetController{
 		cfg:     cfg,

@@ -1,0 +1,110 @@
+package core
+
+// Live-TCP audit runners. These AuditRunner implementations drive real
+// network transports and therefore legitimately touch the wall clock
+// (absolute SetDeadline I/O deadlines require time.Now). They live in
+// this file — not sched.go — so the scheduler itself stays free of
+// wall-clock calls and inside the deterministic-package lint boundary
+// enforced by internal/testnet; this file is on that lint's allowlist.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+)
+
+// DialProverRunner drives audits through an in-process verifier device,
+// dialing a fresh prover connection per audit — the live-TCP deployment
+// where the scheduler host also hosts the verifier (geoverify's
+// local-verifier mode, scaled out). Per-audit dialing is what lets audits
+// against the same prover proceed concurrently up to the scheduler's
+// window.
+type DialProverRunner struct {
+	Verifier *Verifier
+	Dial     func() (ProverConn, error)
+	// AttemptTimeout, when positive, sets an absolute I/O deadline on the
+	// dialed connection (if it supports SetDeadline, as TCPProverConn
+	// does). Pair it with the scheduler's Timeout: the scheduler frees
+	// the window slot at its deadline, and this deadline makes the
+	// abandoned attempt itself unblock and close its connection instead
+	// of leaking against a hung prover.
+	AttemptTimeout time.Duration
+}
+
+var _ AuditRunner = (*DialProverRunner)(nil)
+
+// deadliner is the optional transport capability AttemptTimeout needs.
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
+// RunAudit dials, runs the rounds, closes. ctx cancellation propagates
+// into the rounds (ctx-aware conns such as TCPProverConn poke their I/O
+// deadline), so the belt-and-suspenders AttemptTimeout deadline is only
+// the backstop for transports the context cannot reach.
+func (r *DialProverRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
+	conn, err := r.Dial()
+	if err != nil {
+		return SignedTranscript{}, fmt.Errorf("dial prover: %w", err)
+	}
+	if c, ok := conn.(io.Closer); ok {
+		defer c.Close()
+	}
+	if d, ok := conn.(deadliner); ok && r.AttemptTimeout > 0 {
+		if err := d.SetDeadline(time.Now().Add(r.AttemptTimeout)); err != nil {
+			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
+		}
+	}
+	return r.Verifier.RunAudit(ctx, req, conn)
+}
+
+// RemoteRunner ships each audit to a verifier daemon. Without a Pool it
+// dials per audit so concurrent audits get independent connections; with
+// a Pool, connections are checked out, health-checked and reused — a
+// desynced or failed connection is replaced by a fresh dial.
+type RemoteRunner struct {
+	Addr        string
+	DialTimeout time.Duration
+	// AttemptTimeout bounds the whole remote audit with an absolute I/O
+	// deadline on the daemon connection; see
+	// DialProverRunner.AttemptTimeout. Pooled connections clear it again
+	// on the next checkout.
+	AttemptTimeout time.Duration
+	// Pool, when non-nil, reuses daemon connections across audits.
+	Pool *VerifierPool
+}
+
+var _ AuditRunner = (*RemoteRunner)(nil)
+
+// RunAudit obtains a daemon connection (pooled or freshly dialed),
+// submits the request and waits for the signed transcript.
+func (r *RemoteRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
+	var rv *RemoteVerifier
+	var err error
+	if r.Pool != nil {
+		rv, err = r.Pool.Get(r.Addr)
+	} else {
+		timeout := r.DialTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Second
+		}
+		rv, err = DialVerifier(r.Addr, timeout)
+	}
+	if err != nil {
+		return SignedTranscript{}, err
+	}
+	if r.AttemptTimeout > 0 {
+		if err := rv.SetDeadline(time.Now().Add(r.AttemptTimeout)); err != nil {
+			rv.Close()
+			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
+		}
+	}
+	st, err := rv.RunAudit(ctx, req)
+	if r.Pool != nil {
+		r.Pool.Put(r.Addr, rv, err)
+	} else {
+		rv.Close()
+	}
+	return st, err
+}

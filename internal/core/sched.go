@@ -14,7 +14,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -22,6 +21,7 @@ import (
 
 	"repro/internal/blockfile"
 	"repro/internal/parallel"
+	"repro/internal/vclock"
 )
 
 // ErrAuditTimeout reports that a scheduled audit attempt exceeded the
@@ -83,101 +83,6 @@ func (r *LocalRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTra
 		}
 	}
 	return r.Verifier.RunAudit(ctx, req, r.Conn)
-}
-
-// DialProverRunner drives audits through an in-process verifier device,
-// dialing a fresh prover connection per audit — the live-TCP deployment
-// where the scheduler host also hosts the verifier (geoverify's
-// local-verifier mode, scaled out). Per-audit dialing is what lets audits
-// against the same prover proceed concurrently up to the scheduler's
-// window.
-type DialProverRunner struct {
-	Verifier *Verifier
-	Dial     func() (ProverConn, error)
-	// AttemptTimeout, when positive, sets an absolute I/O deadline on the
-	// dialed connection (if it supports SetDeadline, as TCPProverConn
-	// does). Pair it with the scheduler's Timeout: the scheduler frees
-	// the window slot at its deadline, and this deadline makes the
-	// abandoned attempt itself unblock and close its connection instead
-	// of leaking against a hung prover.
-	AttemptTimeout time.Duration
-}
-
-var _ AuditRunner = (*DialProverRunner)(nil)
-
-// deadliner is the optional transport capability AttemptTimeout needs.
-type deadliner interface {
-	SetDeadline(time.Time) error
-}
-
-// RunAudit dials, runs the rounds, closes. ctx cancellation propagates
-// into the rounds (ctx-aware conns such as TCPProverConn poke their I/O
-// deadline), so the belt-and-suspenders AttemptTimeout deadline is only
-// the backstop for transports the context cannot reach.
-func (r *DialProverRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
-	conn, err := r.Dial()
-	if err != nil {
-		return SignedTranscript{}, fmt.Errorf("dial prover: %w", err)
-	}
-	if c, ok := conn.(io.Closer); ok {
-		defer c.Close()
-	}
-	if d, ok := conn.(deadliner); ok && r.AttemptTimeout > 0 {
-		if err := d.SetDeadline(time.Now().Add(r.AttemptTimeout)); err != nil {
-			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
-		}
-	}
-	return r.Verifier.RunAudit(ctx, req, conn)
-}
-
-// RemoteRunner ships each audit to a verifier daemon. Without a Pool it
-// dials per audit so concurrent audits get independent connections; with
-// a Pool, connections are checked out, health-checked and reused — a
-// desynced or failed connection is replaced by a fresh dial.
-type RemoteRunner struct {
-	Addr        string
-	DialTimeout time.Duration
-	// AttemptTimeout bounds the whole remote audit with an absolute I/O
-	// deadline on the daemon connection; see
-	// DialProverRunner.AttemptTimeout. Pooled connections clear it again
-	// on the next checkout.
-	AttemptTimeout time.Duration
-	// Pool, when non-nil, reuses daemon connections across audits.
-	Pool *VerifierPool
-}
-
-var _ AuditRunner = (*RemoteRunner)(nil)
-
-// RunAudit obtains a daemon connection (pooled or freshly dialed),
-// submits the request and waits for the signed transcript.
-func (r *RemoteRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
-	var rv *RemoteVerifier
-	var err error
-	if r.Pool != nil {
-		rv, err = r.Pool.Get(r.Addr)
-	} else {
-		timeout := r.DialTimeout
-		if timeout <= 0 {
-			timeout = 5 * time.Second
-		}
-		rv, err = DialVerifier(r.Addr, timeout)
-	}
-	if err != nil {
-		return SignedTranscript{}, err
-	}
-	if r.AttemptTimeout > 0 {
-		if err := rv.SetDeadline(time.Now().Add(r.AttemptTimeout)); err != nil {
-			rv.Close()
-			return SignedTranscript{}, fmt.Errorf("set attempt deadline: %w", err)
-		}
-	}
-	st, err := rv.RunAudit(ctx, req)
-	if r.Pool != nil {
-		r.Pool.Put(r.Addr, rv, err)
-	} else {
-		rv.Close()
-	}
-	return st, err
 }
 
 // AuditTask is one scheduled audit: which tenant wants which file checked
@@ -540,6 +445,13 @@ type SchedulerConfig struct {
 	// summary hook. It is called concurrently from scheduler workers and
 	// must be safe for concurrent use.
 	OnVerdict func(Verdict)
+	// Clock supplies verdict timing (Verdict.Elapsed) and paces retry
+	// backoff sleeps (nil = wall clock). The fleet controller and the
+	// scenario testnet inject their virtual clock here so Elapsed values
+	// and retry pacing replay bit-identically; per-attempt Timeout
+	// deadlines still ride the wall clock (see Timeout above), so fully
+	// deterministic scenarios run with Timeout = 0.
+	Clock vclock.Clock
 }
 
 // ProverPolicy overrides the fleet-wide scheduler knobs for one prover:
@@ -630,6 +542,9 @@ type Scheduler struct {
 func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	if cfg.ProverWindow <= 0 {
 		cfg.ProverWindow = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
 	}
 	return &Scheduler{
 		cfg:     cfg,
@@ -755,10 +670,10 @@ func (s *Scheduler) RunEpochNumbered(ctx context.Context, epoch uint64, tasks []
 // with the prover's effective timeout, its bounded retries, then TPA
 // verification.
 func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Verdict {
-	start := time.Now()
+	start := s.cfg.Clock.Now()
 	v := Verdict{Task: task, Epoch: epoch}
 	finish := func() Verdict {
-		v.Elapsed = time.Since(start)
+		v.Elapsed = s.cfg.Clock.Now().Sub(start)
 		return v
 	}
 	s.mu.RLock()
@@ -812,13 +727,9 @@ func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Ve
 		if d := prover.backoff.Delay(attempt); d > 0 {
 			// Backoff outside the prover window, but never outlive the
 			// epoch: a cancelled ctx drains immediately (the next loop
-			// iteration fails fast and records the verdict).
-			timer := time.NewTimer(d)
-			select {
-			case <-timer.C:
-			case <-ctx.Done():
-				timer.Stop()
-			}
+			// iteration fails fast and records the verdict). On a virtual
+			// clock this advances time instead of blocking.
+			_ = vclock.SleepContext(s.cfg.Clock, ctx, d)
 		}
 	}
 }

@@ -90,6 +90,10 @@ type TPA struct {
 	enc    *por.Encoder
 	pub    *ecdsa.PublicKey
 	policy Policy
+	// nonce supplies challenge-nonce entropy (crypto/rand by default).
+	// WithNonceReader swaps in a seeded source so deterministic scenarios
+	// draw replayable challenge indices.
+	nonce io.Reader
 	// roots caches batch roots whose signature already verified, so a
 	// batch of transcripts costs one ECDSA verify plus cheap SHA-256
 	// inclusion checks. Pointer field: VerifyAudits copies the TPA and
@@ -105,7 +109,21 @@ func NewTPA(enc *por.Encoder, verifierKey *ecdsa.PublicKey, policy Policy) (*TPA
 	if policy.TMax <= 0 {
 		return nil, errors.New("core: policy TMax must be positive")
 	}
-	return &TPA{enc: enc, pub: verifierKey, policy: policy, roots: newRootCache(rootCacheSize)}, nil
+	return &TPA{enc: enc, pub: verifierKey, policy: policy, nonce: rand.Reader, roots: newRootCache(rootCacheSize)}, nil
+}
+
+// WithNonceReader returns a copy of the TPA drawing challenge nonces from
+// r instead of crypto/rand — the determinism seam for the scenario
+// testnet, where a seeded math/rand source makes every audit's challenged
+// indices replay bit-identically. The copy shares the verified-root
+// cache. Never use a predictable reader in production: nonce-derived
+// indices are what stop a prover precomputing responses.
+func (a *TPA) WithNonceReader(r io.Reader) *TPA {
+	inner := *a
+	if r != nil {
+		inner.nonce = r
+	}
+	return &inner
 }
 
 // rootCacheSize bounds the verified-root LRU. A root covers a whole
@@ -191,8 +209,12 @@ func (a *TPA) Policy() Policy { return a.policy }
 
 // NewRequest opens an audit of k rounds with a fresh random nonce.
 func (a *TPA) NewRequest(fileID string, layout blockfile.Layout, k int) (AuditRequest, error) {
+	src := a.nonce
+	if src == nil {
+		src = rand.Reader
+	}
 	nonce := make([]byte, 16)
-	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+	if _, err := io.ReadFull(src, nonce); err != nil {
 		return AuditRequest{}, fmt.Errorf("sample nonce: %w", err)
 	}
 	req := AuditRequest{FileID: fileID, NumSegments: layout.Segments, K: k, Nonce: nonce}

@@ -1,0 +1,79 @@
+package geoloc
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/simnet"
+)
+
+// DriftReport is the verdict of a multilateration cross-check on a
+// prover's claimed position: where the landmarks think the prover
+// actually is, how far that is from the claim, and whether the deviation
+// exceeds the policy threshold.
+//
+// This is the geoloc-side complement of GeoProof's timing bound. A prover
+// that drifts out of its claimed region while keeping its verifier device
+// local still passes every timed audit (the data really is near the
+// verifier) — only external landmark probes of the *site* can notice that
+// the site itself moved. The detector inherits geoloc's limits: a target
+// adding delay can push its estimate away from the truth, so a drift flag
+// is trustworthy but an absent flag is not proof of residency (§III-B).
+type DriftReport struct {
+	Estimate    Estimate
+	Claimed     geo.Position
+	DeviationKm float64
+	ThresholdKm float64
+	Drifted     bool
+}
+
+// String renders the verdict compactly for traces.
+func (r DriftReport) String() string {
+	state := "within"
+	if r.Drifted {
+		state = "DRIFTED"
+	}
+	return fmt.Sprintf("%s: est (%.2f,%.2f) deviates %.0f km from claim (%.2f,%.2f), threshold %.0f km",
+		state, r.Estimate.Position.LatDeg, r.Estimate.Position.LonDeg,
+		r.DeviationKm, r.Claimed.LatDeg, r.Claimed.LonDeg, r.ThresholdKm)
+}
+
+// DefaultDriftScheme returns the multilateration scheme the drift
+// detector uses when the caller passes nil: TBG least-squares calibrated
+// to the Internet model (two last-mile overheads, default path stretch),
+// the most accurate of the §III-B schemes over the continental landmark
+// set.
+func DefaultDriftScheme() Scheme {
+	return &TBG{
+		Overhead:    2 * simnet.DefaultLastMile,
+		PathStretch: simnet.DefaultPathStretch,
+		GridStepKm:  20,
+	}
+}
+
+// DetectDrift multilaterates the target from landmark probes and flags it
+// when the estimate lands more than thresholdKm from the claimed
+// position. A nil scheme selects DefaultDriftScheme; a non-positive
+// threshold defaults to 500 km, the worst-case localization error the
+// paper cites for delay-based schemes — deviations beyond it cannot be
+// explained by scheme error alone.
+func DetectDrift(claimed geo.Position, probes []Probe, s Scheme, thresholdKm float64) (DriftReport, error) {
+	if s == nil {
+		s = DefaultDriftScheme()
+	}
+	if thresholdKm <= 0 {
+		thresholdKm = 500
+	}
+	est, err := s.Locate(probes)
+	if err != nil {
+		return DriftReport{}, fmt.Errorf("geoloc: drift multilateration: %w", err)
+	}
+	dev := est.Position.DistanceKm(claimed)
+	return DriftReport{
+		Estimate:    est,
+		Claimed:     claimed,
+		DeviationKm: dev,
+		ThresholdKm: thresholdKm,
+		Drifted:     dev > thresholdKm,
+	}, nil
+}

@@ -201,9 +201,15 @@ func (o *Octant) Locate(probes []Probe) (Estimate, error) {
 // distance estimates corrected by a per-hop cost, then a grid-refined
 // least-squares multilateration over landmark positions.
 type TBG struct {
-	Overhead   time.Duration
-	PerHop     time.Duration // subtracted per traceroute hop
-	GridStepKm float64
+	Overhead time.Duration
+	PerHop   time.Duration // subtracted per traceroute hop
+	// PathStretch, when > 1, divides each delay-derived distance to undo
+	// routing inflation: real routes are not geodesics, so a calibrated
+	// scheme that knows the typical stretch factor (e.g.
+	// simnet.DefaultPathStretch) recovers great-circle distances instead
+	// of overestimating every ring by that factor.
+	PathStretch float64
+	GridStepKm  float64
 }
 
 var _ Scheme = (*TBG)(nil)
@@ -220,6 +226,9 @@ func (t *TBG) Locate(probes []Probe) (Estimate, error) {
 	for i, p := range probes {
 		over := t.Overhead + time.Duration(p.Hops)*t.PerHop
 		dists[i] = rttToDistanceKm(p.RTT, over)
+		if t.PathStretch > 1 {
+			dists[i] /= t.PathStretch
+		}
 	}
 	// Start from the landmark centroid and refine.
 	var lat, lon float64

@@ -5,6 +5,7 @@
 package vclock
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -78,5 +79,29 @@ func (v *Virtual) Set(t time.Time) {
 	defer v.mu.Unlock()
 	if t.After(v.now) {
 		v.now = t
+	}
+}
+
+// SleepContext spends d on the clock while honouring ctx. On the real
+// clock it blocks on a timer and returns early (with ctx.Err) when the
+// context is cancelled; on any other clock it advances virtual time
+// immediately — the seam that lets retry backoffs and reconcile delays
+// stay cancellable in production yet cost zero wall time and replay
+// deterministically in simulation.
+func SleepContext(c Clock, ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if _, real := c.(Real); !real && c != nil {
+		c.Sleep(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
