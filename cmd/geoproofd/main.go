@@ -23,7 +23,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -33,6 +36,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/meta"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -60,7 +64,17 @@ func run() error {
 	diskName := flag.String("disk", "wd2500jd", "disk model for simulated look-up latency")
 	simulate := flag.Bool("simulate", false, "sleep the modelled look-up latency per request")
 	workers := flag.Int("j", 0, "max concurrently served verifier connections (0 = unlimited)")
+	statusAddr := flag.String("status-addr", "", "serve /metrics and /healthz on this address (empty = off)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on -status-addr")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	model, err := diskByName(*diskName)
 	if err != nil {
@@ -91,8 +105,9 @@ func run() error {
 		fileID = st.FileID()
 		segments = st.Layout().Segments
 		site.StoreOn(fileID, st.Layout(), st)
-		fmt.Printf("reopened store %s: epoch %d, %d shards, verified=%v\n",
-			*storeDir, st.Manifest().Epoch, len(st.Manifest().Shards), *storeVerify)
+		slog.Info("reopened store",
+			"dir", *storeDir, "epoch", st.Manifest().Epoch,
+			"shards", len(st.Manifest().Shards), "verified", *storeVerify)
 	} else {
 		if *file == "" || *metaPath == "" {
 			return fmt.Errorf("either -store or both -file and -meta are required")
@@ -121,8 +136,29 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	fmt.Printf("serving %q (%d segments, disk %s, simulate=%v, concurrency=%d) on %s\n",
-		fileID, segments, model.Name, *simulate, *workers, lis.Addr())
+	if *statusAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.MetricsHandler(telemetry.Default))
+		mux.Handle("/healthz", telemetry.HealthzHandler())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
+		slis, err := net.Listen("tcp", *statusAddr)
+		if err != nil {
+			return fmt.Errorf("status listen: %w", err)
+		}
+		statusSrv := &http.Server{Handler: mux}
+		go statusSrv.Serve(slis)
+		defer statusSrv.Close()
+		slog.Info("status API serving", "addr", slis.Addr().String(), "pprof", *pprofOn)
+	}
+	slog.Info("serving",
+		"fileID", fileID, "segments", segments, "disk", model.Name,
+		"simulate", *simulate, "concurrency", *workers, "addr", lis.Addr().String())
 	srv := &core.ProverServer{
 		Provider:            &cloud.HonestProvider{Site: site},
 		SimulateServiceTime: *simulate,

@@ -45,12 +45,13 @@ import (
 	"context"
 	"crypto/elliptic"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -66,6 +67,12 @@ import (
 	"repro/internal/gps"
 	"repro/internal/meta"
 	"repro/internal/por"
+	"repro/internal/telemetry"
+
+	// The prover-side store families (preads, bytes, checksum failures)
+	// register at package init; linking the package here keeps a fleet
+	// operator's single scrape config valid against both daemons.
+	_ "repro/internal/store"
 )
 
 func main() {
@@ -106,6 +113,10 @@ func run() error {
 			"(daemon mode: offered to TPAs that negotiate it; audit mode: used by the in-process verifier)")
 	batchMax := flag.Int("batch-max", 64, "transcripts per signed batch (-batchsign)")
 	batchLatency := flag.Duration("batch-latency", 2*time.Millisecond, "max wait before a partial batch is signed (-batchsign)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the status API (controller mode)")
+	traceRetain := flag.Int("trace-retain", 256, "completed audit traces retained for /debug/audits (controller mode)")
 	policies := map[string]core.ProverPolicy{}
 	flag.Func("policy",
 		"per-prover policy override, repeatable: addr=window=N,timeout=D,retries=N,backoff=D "+
@@ -119,6 +130,12 @@ func run() error {
 			return nil
 		})
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	signer, err := crypt.NewSigner()
 	if err != nil {
@@ -158,6 +175,7 @@ func run() error {
 			policies: policies, retain: *retain,
 			statusAddr: *statusAddr, period: *period,
 			periodJitter: *periodJitter, probePeriod: *probePeriod,
+			pprofOn: *pprofOn, traceRetain: *traceRetain,
 		}
 		if *controller {
 			return runController(o)
@@ -166,6 +184,8 @@ func run() error {
 	}
 
 	pub := signer.Public()
+	// The key line stays on stdout: operators pipe it into TPA
+	// registration, so it is data output, not a log event.
 	fmt.Printf("verifier public key (register with TPA): %s\n",
 		hex.EncodeToString(elliptic.MarshalCompressed(pub.Curve, pub.X, pub.Y)))
 	srv := &core.VerifierServer{
@@ -186,8 +206,8 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	fmt.Printf("verifier device at %s (GPS %.4f,%.4f), prover %s\n",
-		lis.Addr(), *lat, *lon, *prover)
+	slog.Info("verifier device serving",
+		"addr", lis.Addr().String(), "lat", *lat, "lon", *lon, "prover", *prover)
 	return srv.Serve(lis)
 }
 
@@ -216,6 +236,8 @@ type schedOpts struct {
 	period       time.Duration
 	periodJitter float64
 	probePeriod  time.Duration
+	pprofOn      bool
+	traceRetain  int
 }
 
 // buildTPA loads the geoprep sidecar and constructs the TPA both fleet
@@ -343,7 +365,7 @@ func runScheduler(o schedOpts) error {
 		ProverWindow: o.window,
 		Timeout:      o.timeout,
 		Retries:      o.retries,
-		// Live feed: failures print as they land; acceptances stay quiet.
+		// Live feed: failures log as they land; acceptances stay quiet.
 		OnVerdict: func(v core.Verdict) {
 			if v.Outcome == core.OutcomeAccepted {
 				return
@@ -352,8 +374,10 @@ func runScheduler(o schedOpts) error {
 			if v.Outcome == core.OutcomeRejected {
 				detail = v.Report.Reason()
 			}
-			fmt.Printf("  ! %s on %s: %s (%s, %d attempts)\n",
-				v.Task.Tenant, v.Task.Prover, v.Outcome, detail, v.Attempts)
+			slog.Warn("audit failed",
+				"tenant", v.Task.Tenant, "prover", v.Task.Prover,
+				"outcome", v.Outcome.String(), "detail", detail,
+				"attempts", v.Attempts)
 		},
 	})
 
@@ -396,7 +420,7 @@ func runScheduler(o schedOpts) error {
 		}
 		sched.RegisterProverPolicy(addr, runner, policy)
 		if policy != (core.ProverPolicy{}) {
-			fmt.Printf("  policy override for %s: %+v\n", addr, policy)
+			slog.Info("policy override", "prover", addr, "policy", fmt.Sprintf("%+v", policy))
 		}
 	}
 
@@ -404,8 +428,9 @@ func runScheduler(o schedOpts) error {
 	if pool == nil {
 		transport = "dial-per-audit"
 	}
-	fmt.Printf("audit scheduler: %d tenants × %d provers × %d rounds, window %d/prover, Δt_max %v, %s transport\n",
-		o.tenants, len(addrs), o.k, o.window, o.tmax, transport)
+	slog.Info("audit scheduler starting",
+		"tenants", o.tenants, "provers", len(addrs), "rounds", o.k,
+		"window", o.window, "tmax", o.tmax, "transport", transport)
 	for epoch := 1; o.epochs == 0 || epoch <= o.epochs; epoch++ {
 		// Continuous runs stay bounded: fold epochs older than the
 		// retention window into the per-(tenant, prover) archive cells.
@@ -446,12 +471,15 @@ func runController(o schedOpts) error {
 
 	pool := &core.ProverPool{DialTimeout: o.timeout, ConnsPerAddr: o.conns}
 	defer pool.Close()
+	// nil clock = wall clock; the tracer's ring feeds /debug/audits.
+	tracer := telemetry.NewAuditTracer(o.traceRetain, nil)
 	ctl := core.NewFleetController(core.FleetConfig{
 		Scheduler: core.SchedulerConfig{
 			Workers:      o.workers,
 			ProverWindow: o.window,
 			Timeout:      o.timeout,
 			Retries:      o.retries,
+			Tracer:       tracer,
 		},
 		AuditPeriod:  o.period,
 		AuditJitter:  o.periodJitter,
@@ -460,7 +488,8 @@ func runController(o schedOpts) error {
 		RetainEpochs: o.retain,
 		Pool:         pool,
 		OnTransition: func(prover string, from, to core.Health, reason string) {
-			fmt.Printf("controller: %s %s -> %s (%s)\n", prover, from, to, reason)
+			slog.Info("prover health transition",
+				"prover", prover, "from", from.String(), "to", to.String(), "reason", reason)
 		},
 	})
 	defer ctl.Close()
@@ -489,17 +518,27 @@ func runController(o schedOpts) error {
 	}
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(ctl.Status()); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+	// ?prover=addr narrows the health matrix and ledger to one prover —
+	// what an operator paged for a single site actually wants to watch.
+	mux.Handle("/status", telemetry.JSONHandler(func(r *http.Request) any {
+		st := ctl.Status()
+		if p := r.URL.Query().Get("prover"); p != "" {
+			st = filterStatus(st, p)
 		}
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+		return st
+	}))
+	mux.Handle("/healthz", telemetry.HealthzHandler())
+	mux.Handle("/metrics", telemetry.MetricsHandler(telemetry.Default))
+	mux.Handle("/debug/audits", tracer.Handler())
+	if o.pprofOn {
+		// The status mux is not http.DefaultServeMux, so the pprof
+		// handlers must be mounted explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	lis, err := net.Listen("tcp", o.statusAddr)
 	if err != nil {
 		return fmt.Errorf("status API listen: %w", err)
@@ -510,13 +549,35 @@ func runController(o schedOpts) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Printf("fleet controller: %d provers × %d tenants, period %v ±%.0f%%, probes every %v, status API http://%s/status\n",
-		len(addrs), o.tenants, o.period, o.periodJitter*100, o.probePeriod, lis.Addr())
+	slog.Info("fleet controller starting",
+		"provers", len(addrs), "tenants", o.tenants,
+		"period", o.period, "jitter", o.periodJitter,
+		"probePeriod", o.probePeriod,
+		"statusAPI", "http://"+lis.Addr().String()+"/status",
+		"pprof", o.pprofOn)
 	if err := ctl.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
-	fmt.Println("fleet controller: shut down")
+	slog.Info("fleet controller shut down")
 	return nil
+}
+
+// filterStatus narrows a fleet snapshot to one prover's rows.
+func filterStatus(st core.FleetStatus, prover string) core.FleetStatus {
+	out := st
+	out.Provers = nil
+	for _, p := range st.Provers {
+		if p.Name == prover {
+			out.Provers = append(out.Provers, p)
+		}
+	}
+	out.Ledger = nil
+	for _, row := range st.Ledger {
+		if row.Name == prover {
+			out.Ledger = append(out.Ledger, row)
+		}
+	}
+	return out
 }
 
 // printLedger renders the running per-prover totals.

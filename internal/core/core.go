@@ -15,6 +15,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/gps"
 	"repro/internal/merkle"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -273,6 +274,8 @@ func (v *Verifier) RunAudit(ctx context.Context, req AuditRequest, conn ProverCo
 	if err != nil {
 		return SignedTranscript{}, err
 	}
+	tr := telemetry.TraceFrom(ctx)
+	endRounds := tr.Span("rounds")
 	var rounds []AuditRound
 	if bc, ok := conn.(BatchProverConn); ok {
 		// Pipelined path: the transport flushes every challenge at once
@@ -292,31 +295,35 @@ func (v *Verifier) RunAudit(ctx context.Context, req AuditRequest, conn ProverCo
 				rounds[i].Segment = r.Data
 			}
 		}
-		return v.finishAudit(req, rounds)
+	} else {
+		rounds = make([]AuditRound, 0, len(indices))
+		for _, idx := range indices {
+			if err := ctx.Err(); err != nil {
+				return SignedTranscript{}, fmt.Errorf("core: audit cancelled after %d rounds: %w", len(rounds), err)
+			}
+			start := v.clock.Now()
+			seg, err := conn.GetSegment(ctx, req.FileID, idx)
+			rtt := v.clock.Now().Sub(start)
+			if ctx.Err() != nil {
+				// The round lost a race with cancellation: whatever came back
+				// (usually a poked-deadline I/O error) is not evidence about
+				// the prover, so drop the audit rather than record it.
+				return SignedTranscript{}, fmt.Errorf("core: audit cancelled after %d rounds: %w", len(rounds), ctx.Err())
+			}
+			round := AuditRound{Index: idx, RTT: rtt}
+			if err != nil {
+				round.Failed = true
+			} else {
+				round.Segment = seg
+			}
+			rounds = append(rounds, round)
+		}
 	}
-	rounds = make([]AuditRound, 0, len(indices))
-	for _, idx := range indices {
-		if err := ctx.Err(); err != nil {
-			return SignedTranscript{}, fmt.Errorf("core: audit cancelled after %d rounds: %w", len(rounds), err)
-		}
-		start := v.clock.Now()
-		seg, err := conn.GetSegment(ctx, req.FileID, idx)
-		rtt := v.clock.Now().Sub(start)
-		if ctx.Err() != nil {
-			// The round lost a race with cancellation: whatever came back
-			// (usually a poked-deadline I/O error) is not evidence about
-			// the prover, so drop the audit rather than record it.
-			return SignedTranscript{}, fmt.Errorf("core: audit cancelled after %d rounds: %w", len(rounds), ctx.Err())
-		}
-		round := AuditRound{Index: idx, RTT: rtt}
-		if err != nil {
-			round.Failed = true
-		} else {
-			round.Segment = seg
-		}
-		rounds = append(rounds, round)
-	}
-	return v.finishAudit(req, rounds)
+	endRounds()
+	endAttest := tr.Span("attest")
+	st, err := v.finishAudit(req, rounds)
+	endAttest()
+	return st, err
 }
 
 // finishAudit attaches the GPS fix and attests the completed rounds:

@@ -643,6 +643,11 @@ func (c *FleetController) runProbe(p *fleetProver) {
 		defer cancel()
 	}
 	rtt, err := p.spec.Probe(ctx)
+	if err == nil {
+		metricFleetProbeSeconds.ObserveDuration(rtt)
+	} else {
+		metricFleetProbeFailures.Inc()
+	}
 	c.mu.Lock()
 	p.probing = false
 	now := c.clock.Now()
@@ -799,6 +804,10 @@ func (c *FleetController) restore(p *fleetProver) {
 // fire once the lock is released. Caller holds c.mu.
 func (c *FleetController) transition(p *fleetProver, to Health, reason string, now time.Time) transitionEvent {
 	ev := transitionEvent{prover: p.name, from: p.health, to: to, reason: reason}
+	metricFleetTransitions.With(to.String()).Inc()
+	if p.health == HealthQuarantined {
+		metricFleetQuarantineSeconds.ObserveDuration(now.Sub(p.since))
+	}
 	p.health = to
 	p.since = now
 	return ev

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // DialProverRunner drives audits through an in-process verifier device,
@@ -44,7 +46,9 @@ type deadliner interface {
 // deadline), so the belt-and-suspenders AttemptTimeout deadline is only
 // the backstop for transports the context cannot reach.
 func (r *DialProverRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
+	endDial := telemetry.TraceFrom(ctx).Span("dial")
 	conn, err := r.Dial()
+	endDial()
 	if err != nil {
 		return SignedTranscript{}, fmt.Errorf("dial prover: %w", err)
 	}

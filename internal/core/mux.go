@@ -142,6 +142,7 @@ func NegotiateProver(conn net.Conn) (PooledProverConn, error) {
 	case wire.TypeError:
 		// A pre-mux server rejects the Hello as an unknown frame type and
 		// keeps serving v1 on this connection.
+		metricMuxV1Fallbacks.Inc()
 		return NewTCPProverConn(conn), nil
 	default:
 		return nil, fmt.Errorf("core: unexpected hello reply type %d", typ)
@@ -252,6 +253,7 @@ func (c *MuxProverConn) writeFrame(typ byte, stream uint32, payload []byte) erro
 		c.fail(werr)
 		return werr
 	}
+	metricMuxFramesWritten.Inc()
 	return nil
 }
 
@@ -264,6 +266,10 @@ func (c *MuxProverConn) readLoop() {
 		if err != nil {
 			c.fail(fmt.Errorf("core: mux read: %w", err))
 			return
+		}
+		metricMuxFramesRead.Inc()
+		if typ == wire.TypeStreamAbort {
+			metricMuxStreamAborts.Inc()
 		}
 		if !c.dispatch(typ, stream, payload) {
 			return

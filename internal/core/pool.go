@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // This file is the connection-pool layer that turns the dial-per-audit
@@ -69,6 +71,7 @@ func (p *ProverPool) Dials() int64 { return p.dials.Load() }
 
 func (p *ProverPool) dial(addr string) (PooledProverConn, error) {
 	p.dials.Add(1)
+	metricPoolDials.Inc()
 	if p.Dial != nil {
 		return p.Dial(addr)
 	}
@@ -106,6 +109,7 @@ func (p *ProverPool) entry(addr string) (*poolEntry, error) {
 // once unhealthy); exclusive v1 connections return to the idle list on
 // clean release and are closed otherwise.
 func (p *ProverPool) Get(addr string) (PooledProverConn, func(error), error) {
+	metricPoolGets.Inc()
 	e, err := p.entry(addr)
 	if err != nil {
 		return nil, nil, err
@@ -231,6 +235,7 @@ func (p *ProverPool) Evict(addr string) {
 	if e == nil {
 		return
 	}
+	metricPoolEvictions.Inc()
 	e.mu.Lock()
 	slots := e.slots
 	idle := e.idle
@@ -294,7 +299,9 @@ var _ AuditRunner = (*PooledRunner)(nil)
 
 // RunAudit borrows a pooled connection for one audit.
 func (r *PooledRunner) RunAudit(ctx context.Context, req AuditRequest) (SignedTranscript, error) {
+	endCheckout := telemetry.TraceFrom(ctx).Span("pool-checkout")
 	conn, release, err := r.Pool.Get(r.Addr)
+	endCheckout()
 	if err != nil {
 		return SignedTranscript{}, fmt.Errorf("pooled prover conn: %w", err)
 	}

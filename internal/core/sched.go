@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/blockfile"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -452,6 +453,13 @@ type SchedulerConfig struct {
 	// deadlines still ride the wall clock (see Timeout above), so fully
 	// deterministic scenarios run with Timeout = 0.
 	Clock vclock.Clock
+	// Tracer, when set, records every audit's span timeline (window
+	// wait, pool checkout, challenge rounds, attestation, transcript
+	// verification) into its bounded ring, served by the daemons at
+	// /debug/audits. Nil disables tracing at the cost of one nil check
+	// per audit. The tracer keeps its own clock; build it on the same
+	// clock as the scheduler so timelines and Elapsed agree.
+	Tracer *telemetry.AuditTracer
 }
 
 // ProverPolicy overrides the fleet-wide scheduler knobs for one prover:
@@ -672,8 +680,26 @@ func (s *Scheduler) RunEpochNumbered(ctx context.Context, epoch uint64, tasks []
 func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Verdict {
 	start := s.cfg.Clock.Now()
 	v := Verdict{Task: task, Epoch: epoch}
+	tr := s.cfg.Tracer.Begin(task.Tenant, task.Prover, task.FileID, epoch)
+	ctx = telemetry.WithTrace(ctx, tr)
 	finish := func() Verdict {
 		v.Elapsed = s.cfg.Clock.Now().Sub(start)
+		switch v.Outcome {
+		case OutcomeAccepted:
+			metricVerdictAccepted.Inc()
+		case OutcomeRejected:
+			metricVerdictRejected.Inc()
+		case OutcomeTimeout:
+			metricVerdictTimeout.Inc()
+		case OutcomeError:
+			metricVerdictError.Inc()
+		}
+		metricAuditSeconds.ObserveDuration(v.Elapsed)
+		detail := v.Err
+		if v.Outcome == OutcomeRejected {
+			detail = v.Report.Reason()
+		}
+		tr.Finish(v.Outcome.String(), detail, v.Attempts)
 		return v
 	}
 	s.mu.RLock()
@@ -690,6 +716,9 @@ func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Ve
 	}
 	for attempt := 0; ; attempt++ {
 		v.Attempts = attempt + 1
+		if attempt > 0 {
+			metricRetries.Inc()
+		}
 		// A cancelled epoch drains without driving the prover again.
 		if err := ctx.Err(); err != nil {
 			v.Outcome, v.Err = OutcomeError, err.Error()
@@ -702,15 +731,22 @@ func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Ve
 			v.Outcome, v.Err = OutcomeError, err.Error()
 			return finish()
 		}
+		endAttempt := tr.Span("attempt")
 		st, err := s.windowedAttempt(ctx, prover, req)
+		endAttempt()
 		if err == nil {
+			endVerify := tr.Span("verify")
 			v.Report = tpa.VerifyAudit(req, task.Layout, st)
+			endVerify()
 			if v.Report.Accepted {
 				v.Outcome = OutcomeAccepted
 			} else {
 				v.Outcome = OutcomeRejected
 			}
 			return finish()
+		}
+		if errors.Is(err, ErrAuditTimeout) {
+			metricAttemptTimeouts.Inc()
 		}
 		v.Err = err.Error()
 		if attempt >= prover.retries || ctx.Err() != nil {
@@ -740,9 +776,15 @@ func (s *Scheduler) runOne(ctx context.Context, epoch uint64, task AuditTask) Ve
 // of leaking a goroutine against a hung prover — and any late result is
 // dropped (the result channel is buffered so the send never blocks).
 func (s *Scheduler) windowedAttempt(ctx context.Context, p *proverState, req AuditRequest) (SignedTranscript, error) {
+	endWait := telemetry.TraceFrom(ctx).Span("window-wait")
 	p.window <- struct{}{}
+	endWait()
+	metricInflight.Inc()
 	if p.timeout <= 0 {
-		defer func() { <-p.window }()
+		defer func() {
+			<-p.window
+			metricInflight.Dec()
+		}()
 		return p.runner.RunAudit(ctx, req)
 	}
 	type result struct {
@@ -756,6 +798,7 @@ func (s *Scheduler) windowedAttempt(ctx context.Context, p *proverState, req Aud
 	release := func() {
 		if released.CompareAndSwap(false, true) {
 			<-p.window
+			metricInflight.Dec()
 		}
 	}
 	attemptCtx, cancel := context.WithTimeout(ctx, p.timeout)

@@ -115,9 +115,11 @@ func (s *ProverServer) handle(conn net.Conn) {
 		if wire.WriteFrame(conn, wire.TypeHelloAck, ack.Encode()) != nil {
 			return
 		}
+		metricProverConnsMux.Inc()
 		s.serveMux(conn)
 		return
 	}
+	metricProverConnsV1.Inc()
 	if !s.serveV1Frame(conn, typ, payload) {
 		return
 	}
@@ -144,8 +146,10 @@ func (s *ProverServer) serveV1Frame(conn net.Conn, typ byte, payload []byte) boo
 	defer wire.PutBuffer(payload)
 	switch typ {
 	case wire.TypePing:
+		metricProverPings.Inc()
 		return wire.WriteFrame(conn, wire.TypePong, nil) == nil
 	case wire.TypeSegmentRequest:
+		metricProverSegments.Inc()
 		req, err := wire.DecodeSegmentRequest(payload)
 		if err != nil {
 			return wire.WriteFrame(conn, wire.TypeError, wire.ErrorMessage{Msg: err.Error()}.Encode()) == nil
@@ -230,11 +234,13 @@ func (s *ProverServer) serveMux(conn net.Conn) {
 		}
 		switch typ {
 		case wire.TypePing:
+			metricProverPings.Inc()
 			wire.PutBuffer(payload)
 			if !m.writeFrame(wire.TypePong, stream, nil) {
 				return
 			}
 		case wire.TypeSegmentRequest:
+			metricProverSegments.Inc()
 			req, derr := wire.DecodeSegmentRequest(payload)
 			wire.PutBuffer(payload)
 			if derr != nil {
@@ -255,12 +261,14 @@ func (s *ProverServer) serveMux(conn net.Conn) {
 				s.serveSegmentStream(m, stream, req)
 			}()
 		case wire.TypeSegmentBatchRequest:
+			metricProverBatches.Inc()
 			req, derr := wire.DecodeSegmentBatchRequest(payload)
 			wire.PutBuffer(payload)
 			if derr != nil {
 				// The peer cannot know how many reply frames a batch it
 				// failed to encode would have carried, so the stream is
 				// aborted outright rather than answered per index.
+				metricProverAborts.Inc()
 				if !m.writeFrame(wire.TypeStreamAbort, stream, wire.ErrorMessage{Msg: derr.Error()}.Encode()) {
 					return
 				}

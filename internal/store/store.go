@@ -11,6 +11,21 @@ import (
 
 	"repro/internal/blockfile"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
+)
+
+// Read-path observability: one pread per shard touched, byte volume,
+// and checksum mismatches caught by Verify.
+var (
+	metricStorePreads = telemetry.Default.Counter(
+		"geoproof_store_preads_total",
+		"Positioned shard reads issued by the serving path.")
+	metricStorePreadBytes = telemetry.Default.Counter(
+		"geoproof_store_pread_bytes_total",
+		"Bytes returned by positioned shard reads.")
+	metricStoreChecksumFailures = telemetry.Default.Counter(
+		"geoproof_store_checksum_failures_total",
+		"Shard CRC-32C mismatches found by Verify.")
 )
 
 // Store is a committed store directory opened for serving: the prover's
@@ -106,6 +121,7 @@ func (s *Store) Verify() error {
 			return fmt.Errorf("store: verify shard %d: %w", i, err)
 		}
 		if got := crc.Sum32(); got != s.man.Shards[i].CRC32C {
+			metricStoreChecksumFailures.Inc()
 			return fmt.Errorf("%w: shard %d checksum %08x, manifest says %08x", ErrCorrupt, i, got, s.man.Shards[i].CRC32C)
 		}
 	}
@@ -132,6 +148,10 @@ func readShards(man Manifest, shards []*os.File, locks []sync.RWMutex, p []byte,
 			defer locks[s].RUnlock()
 		}
 		_, rerr := shards[s].ReadAt(part, rel)
+		if rerr == nil {
+			metricStorePreads.Inc()
+			metricStorePreadBytes.Add(uint64(len(part)))
+		}
 		return rerr
 	})
 	if err != nil {

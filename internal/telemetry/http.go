@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// GetOnly wraps a handler to reject every method except GET and HEAD
+// with 405 and an Allow header — the status-API hygiene shared by
+// /status, /healthz, /metrics and /debug/audits.
+func GetOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// MetricsHandler serves a registry in the Prometheus text exposition
+// format. GET/HEAD only.
+func MetricsHandler(r *Registry) http.Handler {
+	return GetOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Errors past the first byte can only be client disconnects;
+		// there is nothing useful to do with them.
+		_ = r.WritePrometheus(w)
+	}))
+}
+
+// JSONHandler serves f()'s result as indented JSON. GET/HEAD only.
+func JSONHandler(f func(r *http.Request) any) http.Handler {
+	return GetOnly(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(f(r)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}))
+}
+
+// HealthzHandler serves a plain-text "ok". GET/HEAD only.
+func HealthzHandler() http.Handler {
+	return GetOnly(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	}))
+}
+
+// auditsPage is the /debug/audits response envelope.
+type auditsPage struct {
+	Capacity int          `json:"capacity"`
+	Total    uint64       `json:"total"`
+	Audits   []AuditTrace `json:"audits"`
+}
+
+// Handler serves the tracer's retained audit timelines as JSON, newest
+// first, wrapped with the ring capacity and lifetime total.
+func (t *AuditTracer) Handler() http.Handler {
+	return JSONHandler(func(*http.Request) any {
+		return auditsPage{Capacity: t.Capacity(), Total: t.Total(), Audits: t.Snapshot()}
+	})
+}

@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// TestPrometheusExpositionGolden pins the full text-format output for a
+// registry exercising every family kind: HELP/TYPE lines, sorted
+// families and label tuples, cumulative power-of-two histogram buckets
+// with +Inf, and seconds exposition for duration histograms.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Total requests.").Add(3)
+	errs := r.CounterVec("test_errors_total", "Errors by code.", "code")
+	errs.With("500").Inc()
+	errs.With("404").Add(2)
+	r.Gauge("test_inflight", "In-flight requests.").Set(5)
+	bs := r.Histogram("test_batch_size", "Transcripts per batch.")
+	bs.Observe(1)
+	bs.Observe(3)
+	bs.Observe(4)
+	lat := r.DurationHistogram("test_latency_seconds", "Request latency.")
+	lat.ObserveDuration(3 * time.Nanosecond)
+
+	want := `# HELP test_batch_size Transcripts per batch.
+# TYPE test_batch_size histogram
+test_batch_size_bucket{le="1"} 1
+test_batch_size_bucket{le="2"} 1
+test_batch_size_bucket{le="4"} 3
+test_batch_size_bucket{le="+Inf"} 3
+test_batch_size_sum 8
+test_batch_size_count 3
+# HELP test_errors_total Errors by code.
+# TYPE test_errors_total counter
+test_errors_total{code="404"} 2
+test_errors_total{code="500"} 1
+# HELP test_inflight In-flight requests.
+# TYPE test_inflight gauge
+test_inflight 5
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="1e-09"} 0
+test_latency_seconds_bucket{le="2e-09"} 0
+test_latency_seconds_bucket{le="4e-09"} 1
+test_latency_seconds_bucket{le="+Inf"} 1
+test_latency_seconds_sum 3e-09
+test_latency_seconds_count 1
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total 3
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLabelValueEscaping checks the text-format escapes for label
+// values holding quotes, backslashes and newlines.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_escapes_total", "Escapes.", "reason").With("say \"hi\"\\\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_escapes_total{reason="say \"hi\"\\\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("output %q missing escaped sample %q", b.String(), want)
+	}
+}
+
+// TestNameAndLabelValidation is the label-validity lint: malformed
+// metric or label names and schema conflicts must panic at
+// registration, never silently emit an invalid exposition.
+func TestNameAndLabelValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	mustPanic("empty name", func() { r.Counter("", "h") })
+	mustPanic("leading digit", func() { r.Counter("9bad", "h") })
+	mustPanic("bad rune", func() { r.Counter("bad-name", "h") })
+	mustPanic("bad label", func() { r.CounterVec("test_ok_total", "h", "with-dash") })
+	mustPanic("reserved label", func() { r.CounterVec("test_ok2_total", "h", "__reserved") })
+	r.Counter("test_dup_total", "h")
+	mustPanic("kind conflict", func() { r.Gauge("test_dup_total", "h") })
+	mustPanic("label conflict", func() { r.CounterVec("test_dup_total", "h", "code") })
+	mustPanic("arity mismatch", func() {
+		r.CounterVec("test_arity_total", "h", "a", "b").With("only-one")
+	})
+	// Idempotent re-registration with the identical schema returns the
+	// same underlying series.
+	c1 := r.Counter("test_same_total", "h")
+	c1.Inc()
+	if c2 := r.Counter("test_same_total", "h"); c2.Value() != 1 {
+		t.Errorf("re-registration returned a fresh counter")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the power-of-two bucket layout:
+// values land in the bucket whose inclusive upper bound is the value's
+// power-of-two ceiling.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {1024, 10}, {1025, 11}, {1 << 40, 40}, {1<<40 + 1, 41},
+	}
+	for _, c := range cases {
+		h := &Histogram{unit: 1}
+		h.Observe(c.v)
+		for i := 0; i < histBuckets; i++ {
+			got := h.buckets[i].Load()
+			if i == c.want && got != 1 {
+				t.Errorf("Observe(%d): bucket %d (le %d) empty", c.v, i, BucketBound(i))
+			}
+			if i != c.want && got != 0 {
+				t.Errorf("Observe(%d): unexpected count in bucket %d (le %d)", c.v, i, BucketBound(i))
+			}
+		}
+		if c.v > 0 {
+			if bound := BucketBound(c.want); uint64(c.v) > bound {
+				t.Errorf("Observe(%d): bucket bound %d below value", c.v, bound)
+			}
+			if c.want > 0 && uint64(c.v) <= BucketBound(c.want-1) {
+				t.Errorf("Observe(%d): value fits the previous bucket %d", c.v, BucketBound(c.want-1))
+			}
+		}
+	}
+}
+
+// TestRegistryConcurrency hammers registration, labeled children,
+// observations and exposition from many goroutines; run under -race
+// this is the registry's data-race gate.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("test_conc_total", "h", "worker")
+	hist := r.DurationHistogram("test_conc_seconds", "h")
+	gauge := r.Gauge("test_conc_inflight", "h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := vec.With(string(rune('a' + w)))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				gauge.Inc()
+				hist.ObserveDuration(time.Duration(i))
+				gauge.Dec()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	var total uint64
+	for _, s := range r.Snapshot() {
+		if s.Name == "test_conc_total" {
+			total += uint64(s.Value)
+		}
+	}
+	if total != 8000 {
+		t.Errorf("counter total = %d, want 8000", total)
+	}
+	if got := hist.Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+	if gauge.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", gauge.Value())
+	}
+}
+
+// TestAuditTracerRing checks ring retention and ordering: a tracer of
+// capacity 2 keeps the two newest audits, newest first, with virtual
+// timestamps from the injected clock.
+func TestAuditTracerRing(t *testing.T) {
+	clk := vclock.NewVirtual(time.Time{})
+	tr := NewAuditTracer(2, clk)
+	for i := 0; i < 3; i++ {
+		a := tr.Begin("tenant-a", "prover-b", "file", uint64(i+1))
+		end := a.Span("rounds")
+		clk.Advance(5 * time.Millisecond)
+		end()
+		a.Finish("accepted", "", 1)
+		clk.Advance(time.Millisecond)
+	}
+	if tr.Total() != 3 {
+		t.Fatalf("total = %d, want 3", tr.Total())
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(snap))
+	}
+	if snap[0].ID != 3 || snap[1].ID != 2 {
+		t.Errorf("snapshot order = [%d %d], want [3 2]", snap[0].ID, snap[1].ID)
+	}
+	got := snap[0]
+	if got.Outcome != "accepted" || got.Epoch != 3 || got.Attempts != 1 {
+		t.Errorf("unexpected trace: %+v", got)
+	}
+	if len(got.Spans) != 1 || got.Spans[0].Name != "rounds" {
+		t.Fatalf("spans = %+v, want one rounds span", got.Spans)
+	}
+	if d := got.Spans[0].EndNs - got.Spans[0].StartNs; d != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("span duration = %dns, want 5ms of virtual time", d)
+	}
+	if got.ElapsedNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Errorf("elapsed = %dns, want 5ms", got.ElapsedNs)
+	}
+}
+
+// TestNilTraceSafety: the no-op path must be callable unconditionally.
+func TestNilTraceSafety(t *testing.T) {
+	var tracer *AuditTracer
+	tr := tracer.Begin("t", "p", "f", 1)
+	if tr != nil {
+		t.Fatal("nil tracer must begin nil traces")
+	}
+	tr.Span("x")()
+	tr.Finish("accepted", "", 1)
+	if TraceFrom(WithTrace(context.Background(), nil)) != nil {
+		t.Fatal("nil trace must not be threaded")
+	}
+}
+
+// TestHandlers covers the HTTP surface: content types, 405 on non-GET,
+// and the /debug/audits JSON schema.
+func TestHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_h_total", "h").Inc()
+	clk := vclock.NewVirtual(time.Time{})
+	tracer := NewAuditTracer(4, clk)
+	a := tracer.Begin("t", "p", "f", 1)
+	a.Finish("accepted", "", 1)
+
+	metrics := MetricsHandler(r)
+	rec := httptest.NewRecorder()
+	metrics.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_h_total 1") {
+		t.Errorf("metrics body missing sample: %q", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	metrics.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+	if allow := rec.Header().Get("Allow"); !strings.Contains(allow, "GET") {
+		t.Errorf("405 missing Allow header, got %q", allow)
+	}
+
+	audits := tracer.Handler()
+	rec = httptest.NewRecorder()
+	audits.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/audits", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("audits Content-Type = %q", ct)
+	}
+	var page struct {
+		Capacity int          `json:"capacity"`
+		Total    uint64       `json:"total"`
+		Audits   []AuditTrace `json:"audits"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Capacity != 4 || page.Total != 1 || len(page.Audits) != 1 {
+		t.Errorf("audits page = %+v", page)
+	}
+
+	rec = httptest.NewRecorder()
+	HealthzHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Body.String() != "ok\n" {
+		t.Errorf("healthz body = %q", rec.Body.String())
+	}
+}

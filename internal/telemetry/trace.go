@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Span is one timed phase of an audit, recorded as nanosecond offsets
+// from the audit's start so a timeline renders without clock math.
+type Span struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"startNs"`
+	EndNs   int64  `json:"endNs"`
+}
+
+// AuditTrace is one finished audit's span timeline plus its identity
+// and verdict — what /debug/audits serves per entry.
+type AuditTrace struct {
+	ID        uint64    `json:"id"`
+	Tenant    string    `json:"tenant"`
+	Prover    string    `json:"prover"`
+	FileID    string    `json:"fileID"`
+	Epoch     uint64    `json:"epoch"`
+	Start     time.Time `json:"start"`
+	Outcome   string    `json:"outcome,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+	Attempts  int       `json:"attempts,omitempty"`
+	ElapsedNs int64     `json:"elapsedNs"`
+	Spans     []Span    `json:"spans"`
+}
+
+// AuditTracer records finished audit traces into a bounded ring buffer:
+// the newest capacity audits are kept, older ones are overwritten. All
+// timestamps come from the injected clock, so a tracer built on a
+// virtual clock records deterministic virtual timelines. Safe for
+// concurrent use; a nil *AuditTracer is a valid no-op tracer.
+type AuditTracer struct {
+	clock vclock.Clock
+
+	mu   sync.Mutex
+	ring []AuditTrace
+	next int // overwrite cursor once the ring is full
+	seq  uint64
+}
+
+// NewAuditTracer returns a tracer keeping the last capacity audits
+// (≤ 0 = 256). A nil clock defaults to the wall clock.
+func NewAuditTracer(capacity int, clock vclock.Clock) *AuditTracer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &AuditTracer{clock: clock, ring: make([]AuditTrace, 0, capacity)}
+}
+
+// Begin starts a trace for one audit. Returns nil — a no-op trace —
+// when the tracer itself is nil, so call sites need no conditionals.
+func (t *AuditTracer) Begin(tenant, prover, fileID string, epoch uint64) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.seq++
+	id := t.seq
+	t.mu.Unlock()
+	return &Trace{
+		tracer: t,
+		start:  t.clock.Now(),
+		at: AuditTrace{
+			ID: id, Tenant: tenant, Prover: prover, FileID: fileID, Epoch: epoch,
+		},
+	}
+}
+
+// Total returns how many traces have been started over the tracer's
+// lifetime (≥ the number retained in the ring).
+func (t *AuditTracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Capacity returns the ring size.
+func (t *AuditTracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.ring)
+}
+
+// record stores a finished trace, overwriting the oldest once full.
+func (t *AuditTracer) record(at AuditTrace) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, at)
+	} else {
+		t.ring[t.next] = at
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (t *AuditTracer) Snapshot() []AuditTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	out := make([]AuditTrace, 0, n)
+	// Before the ring wraps the newest entry is the last append; after,
+	// it sits just behind the overwrite cursor.
+	newest := n - 1
+	if n == cap(t.ring) {
+		newest = (t.next - 1 + n) % n
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(newest-i+n)%n])
+	}
+	return out
+}
+
+// Trace accumulates one audit's spans until Finish hands it to the
+// tracer's ring. All methods are safe on a nil receiver (no-ops) and
+// for concurrent use, so runner layers can add spans from worker
+// goroutines while the scheduler finishes the verdict.
+type Trace struct {
+	tracer *AuditTracer
+	start  time.Time
+
+	mu   sync.Mutex
+	at   AuditTrace
+	done bool
+}
+
+// noopEnd is the shared no-op span closer, so nil traces never allocate.
+var noopEnd = func() {}
+
+// Span marks the start of a named phase and returns the closure that
+// ends it. Spans ended after Finish are dropped.
+func (tr *Trace) Span(name string) func() {
+	if tr == nil {
+		return noopEnd
+	}
+	startNs := tr.tracer.clock.Now().Sub(tr.start).Nanoseconds()
+	return func() {
+		endNs := tr.tracer.clock.Now().Sub(tr.start).Nanoseconds()
+		tr.mu.Lock()
+		if !tr.done {
+			tr.at.Spans = append(tr.at.Spans, Span{Name: name, StartNs: startNs, EndNs: endNs})
+		}
+		tr.mu.Unlock()
+	}
+}
+
+// Finish seals the trace with its verdict and commits it to the ring.
+// Only the first call wins; later calls and spans are dropped.
+func (tr *Trace) Finish(outcome, detail string, attempts int) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.at.Start = tr.start
+	tr.at.Outcome = outcome
+	tr.at.Detail = detail
+	tr.at.Attempts = attempts
+	tr.at.ElapsedNs = tr.tracer.clock.Now().Sub(tr.start).Nanoseconds()
+	at := tr.at
+	tr.mu.Unlock()
+	tr.tracer.record(at)
+}
+
+// traceCtxKey keys the context-carried *Trace.
+type traceCtxKey struct{}
+
+// WithTrace threads a trace through the audit's context so runner and
+// transport layers can add spans without new interfaces. A nil trace
+// returns ctx unchanged.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFrom returns the context's trace, or nil — and nil is safe to
+// use: every *Trace method no-ops on a nil receiver.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/geoloc"
 	"repro/internal/por"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -35,6 +36,7 @@ type world struct {
 	byName   map[string]*member
 	tenants  []*worldTenant
 	ctl      *core.FleetController
+	tracer   *telemetry.AuditTracer
 	verifier map[string]*core.Verifier
 
 	transitions []string
@@ -200,11 +202,16 @@ func (w *world) setupTenants() error {
 // synchronous ticks, one worker, no wall-clock deadlines, the scenario's
 // virtual clock and seed everywhere.
 func (w *world) setupController() {
+	// Tracing rides along in every scenario on the virtual clock: the
+	// replay-determinism tests then double as proof that instrumentation
+	// never perturbs a run's observable timing.
+	w.tracer = telemetry.NewAuditTracer(64, w.clk)
 	w.ctl = core.NewFleetController(core.FleetConfig{
 		Scheduler: core.SchedulerConfig{
 			Workers: 1,
 			Timeout: 0,
 			Clock:   w.clk,
+			Tracer:  w.tracer,
 			OnVerdict: func(v core.Verdict) {
 				fold := classify(v)
 				w.cellMu.Lock()
